@@ -1,0 +1,95 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"grca/internal/engine"
+	"grca/internal/event"
+	"grca/internal/platform"
+	"grca/internal/simnet"
+)
+
+func TestRunMiningCommand(t *testing.T) {
+	d, err := simnet.Generate(simnet.Config{
+		Seed: 91, PoPs: 2, PERsPerPoP: 2, SessionsPerPER: 8,
+		Duration: 10 * 24 * time.Hour, BGPFlapIncidents: 150,
+		ProvisioningBugIncidents: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "corpus")
+	if err := platform.Save(dir, platform.BundleFromDataset(d)); err != nil {
+		t.Fatal(err)
+	}
+
+	out := captureStdout(t, func() error { return run(dir, false, 10) })
+	if !strings.Contains(out, "workflow:provision-customer") {
+		t.Errorf("prefiltered mining output missing provisioning series:\n%s", out)
+	}
+	if !strings.Contains(out, "CPU-related BGP flaps") {
+		t.Errorf("output missing prefilter label:\n%s", out)
+	}
+	outAll := captureStdout(t, func() error { return run(dir, true, 10) })
+	if !strings.Contains(outAll, "all BGP flaps") {
+		t.Errorf("unfiltered output wrong:\n%s", outAll)
+	}
+	if err := run(t.TempDir(), false, 5); err == nil {
+		t.Error("empty bundle dir accepted")
+	}
+}
+
+func TestCPURelatedPredicate(t *testing.T) {
+	node := func(name string, children ...*engine.Node) *engine.Node {
+		return &engine.Node{Event: name, Children: children}
+	}
+	mk := func(root *engine.Node) engine.Diagnosis {
+		return engine.Diagnosis{Root: root}
+	}
+	// HTE + CPU, no link: selected.
+	d := mk(node(event.EBGPFlap, node(event.EBGPHoldTimerExpired, node(event.CPUHighSpike))))
+	if !cpuRelated(d) {
+		t.Error("cpu-related flap not selected")
+	}
+	// HTE + CPU + interface flap: link evidence excludes it.
+	d = mk(node(event.EBGPFlap,
+		node(event.EBGPHoldTimerExpired, node(event.CPUHighSpike)),
+		node(event.InterfaceFlap)))
+	if cpuRelated(d) {
+		t.Error("link-explained flap selected")
+	}
+	// HTE alone: no CPU signature.
+	d = mk(node(event.EBGPFlap, node(event.EBGPHoldTimerExpired)))
+	if cpuRelated(d) {
+		t.Error("HTE-only flap selected")
+	}
+}
+
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outc := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		outc <- string(data)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outc
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("run failed: %v\n%s", runErr, out)
+	}
+	return out
+}

@@ -1,0 +1,398 @@
+// Command grca is the G-RCA platform front end. It runs the packaged RCA
+// applications over a dataset bundle, prints root-cause breakdown tables
+// in the paper's format, lists the Knowledge Library, trends events over
+// time, and drills into individual diagnoses.
+//
+// Usage:
+//
+//	grca run bgpflap -data /tmp/corpus [-score] [-trend 24h] [-show 3]
+//	grca run cdn     -data /tmp/corpus
+//	grca run pim     -data /tmp/corpus
+//	grca events
+//	grca rules
+//	grca bayes -data /tmp/corpus        # §IV-C group inference
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"grca/internal/apps/backbone"
+	"grca/internal/apps/bgpflap"
+	"grca/internal/apps/cdn"
+	"grca/internal/apps/pim"
+	"grca/internal/browser"
+	"grca/internal/dgraph"
+	"grca/internal/engine"
+	"grca/internal/event"
+	"grca/internal/netstate"
+	"grca/internal/platform"
+	"grca/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = runApp(os.Args[2:])
+	case "events":
+		err = listEvents()
+	case "rules":
+		err = listRules()
+	case "bayes":
+		err = runBayes(os.Args[2:])
+	case "check":
+		err = runCheck(os.Args[2:])
+	case "graph":
+		err = runGraph(os.Args[2:])
+	case "report":
+		err = runReport(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grca: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  grca run <bgpflap|cdn|pim|backbone> -data DIR [-score] [-trend DUR] [-show N]
+  grca events
+  grca rules
+  grca bayes -data DIR
+  grca check <bgpflap|cdn|pim|backbone> -data DIR
+  grca graph <bgpflap|cdn|pim|backbone>            # Graphviz DOT of the diagnosis graph
+  grca report <bgpflap|cdn|pim|backbone> -data DIR # full SQM report (breakdown, trend, drill-downs)`)
+}
+
+type app struct {
+	study   string
+	display func(string) string
+	engine  func(*store.Store, *netstate.View) (*engine.Engine, error)
+	title   string
+}
+
+var apps = map[string]app{
+	"bgpflap":  {"bgp", bgpflap.DisplayLabel, bgpflap.NewEngine, "Root Cause Breakdown of BGP Flaps (cf. Table IV)"},
+	"cdn":      {"cdn", cdn.DisplayLabel, cdn.NewEngine, "Root Cause Breakdown of End-to-End RTT Degradations (cf. Table VI)"},
+	"pim":      {"pim", pim.DisplayLabel, pim.NewEngine, "Root Cause Breakdown of PIM Adjacency Losses (cf. Table VIII)"},
+	"backbone": {"backbone", backbone.DisplayLabel, backbone.NewEngine, "Root Cause Breakdown of In-Network Packet Loss (§I scenario)"},
+}
+
+func runApp(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("run: application name required")
+	}
+	a, ok := apps[args[0]]
+	if !ok {
+		return fmt.Errorf("run: unknown application %q", args[0])
+	}
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	data := fs.String("data", "", "dataset bundle directory (required)")
+	score := fs.Bool("score", false, "score diagnoses against ground truth when available")
+	trend := fs.Duration("trend", 0, "print a symptom trend with the given bin width")
+	show := fs.Int("show", 0, "print the first N full diagnoses (evidence chains)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("run: -data is required")
+	}
+
+	bundle, err := platform.Load(*data)
+	if err != nil {
+		return err
+	}
+	sys, err := bundle.Assemble(platform.Options{})
+	if err != nil {
+		return err
+	}
+	if sys.Collector.Malformed.Count > 0 {
+		fmt.Fprintf(os.Stderr, "warning: %d malformed raw lines skipped\n", sys.Collector.Malformed.Count)
+	}
+	eng, err := a.engine(sys.Store, sys.View)
+	if err != nil {
+		return err
+	}
+	began := time.Now()
+	ds := eng.DiagnoseAll()
+	elapsed := time.Since(began)
+
+	rows := browser.Breakdown(ds, a.display)
+	if err := browser.WriteTable(os.Stdout, a.title, rows); err != nil {
+		return err
+	}
+	per := time.Duration(0)
+	if len(ds) > 0 {
+		per = elapsed / time.Duration(len(ds))
+	}
+	fmt.Printf("\n%d symptoms diagnosed in %v (%v/event)\n", len(ds), elapsed.Round(time.Millisecond), per.Round(time.Microsecond))
+
+	if *score && len(bundle.Truth) > 0 {
+		s := platform.ScoreDiagnoses(bundle.Truth, a.study, ds, 10*time.Minute)
+		fmt.Printf("ground truth: %d/%d correct (%.1f%%), %d unmatched\n",
+			s.Correct, s.Total, 100*s.Accuracy(), s.Unmatched)
+	}
+	if *trend > 0 && len(ds) > 0 {
+		printTrend(sys.Store, eng.Graph.Root, bundle.Start, bundle.Start.Add(bundle.Duration), *trend)
+	}
+	for i := 0; i < *show && i < len(ds); i++ {
+		printDiagnosis(ds[i])
+	}
+	return nil
+}
+
+func printTrend(st *store.Store, name string, from, to time.Time, bin time.Duration) {
+	fmt.Printf("\nTrend of %q per %v:\n", name, bin)
+	for _, p := range browser.Trend(st, name, from, to, bin) {
+		fmt.Printf("  %s  %4d  %s\n", p.Start.Format("2006-01-02 15:04"), p.Count, bar(p.Count))
+	}
+}
+
+func bar(n int) string {
+	if n > 60 {
+		n = 60
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}
+
+func printDiagnosis(d engine.Diagnosis) {
+	fmt.Printf("\nsymptom %s\n  root cause: %s\n", d.Symptom, d.Label())
+	var walk func(n *engine.Node, depth int)
+	walk = func(n *engine.Node, depth int) {
+		for _, c := range n.Children {
+			fmt.Printf("  %*s<- %s (priority %d)\n", depth*2, "", c.Instance, c.Rule.Priority)
+			walk(c, depth+1)
+		}
+	}
+	walk(d.Root, 1)
+	for _, w := range d.Warnings {
+		fmt.Printf("  warning: %s\n", w)
+	}
+}
+
+func listEvents() error {
+	lib := event.Knowledge()
+	fmt.Println("G-RCA Knowledge Library: common event definitions (Table I)")
+	fmt.Println()
+	for _, name := range lib.Names() {
+		d, _ := lib.Get(name)
+		fmt.Printf("%-46s %-20s %s\n", d.Name, d.LocType, d.Source)
+		fmt.Printf("    %s\n", d.Description)
+	}
+	return nil
+}
+
+func listRules() error {
+	cat := dgraph.Knowledge()
+	fmt.Println("G-RCA Knowledge Library: common diagnosis rules (Table II)")
+	fmt.Println()
+	rules := cat.All()
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Key() < rules[j].Key() })
+	for _, r := range rules {
+		fmt.Printf("%-46s <- %-46s join %-14s sym(%s) diag(%s)\n",
+			r.Symptom, r.Diagnostic, r.JoinLevel, r.Temporal.Symptom, r.Temporal.Diagnostic)
+	}
+	fmt.Printf("\n%d rules\n", len(rules))
+	return nil
+}
+
+// runBayes reproduces the §IV-C study: group flaps by line card and run
+// joint Bayesian inference, comparing against the rule-based verdicts.
+func runBayes(args []string) error {
+	fs := flag.NewFlagSet("bayes", flag.ExitOnError)
+	data := fs.String("data", "", "dataset bundle directory (required)")
+	window := fs.Duration("window", 3*time.Minute, "grouping window")
+	minMulti := fs.Int("min-multi", 4, "flaps per card+window to count as a multi-flap group")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("bayes: -data is required")
+	}
+	bundle, err := platform.Load(*data)
+	if err != nil {
+		return err
+	}
+	sys, err := bundle.Assemble(platform.Options{})
+	if err != nil {
+		return err
+	}
+	eng, err := bgpflap.NewEngine(sys.Store, sys.View)
+	if err != nil {
+		return err
+	}
+	ds := eng.DiagnoseAll()
+	cfg, err := bgpflap.BayesConfig()
+	if err != nil {
+		return err
+	}
+	groups := bgpflap.GroupByCard(sys.Topo, ds, *window)
+	disagreements := 0
+	for _, g := range groups {
+		res, err := bgpflap.ClassifyGroup(cfg, g, *minMulti)
+		if err != nil {
+			return err
+		}
+		ruleVerdicts := map[string]bool{}
+		for _, d := range g.Diagnoses {
+			ruleVerdicts[d.Primary()] = true
+		}
+		if res.Best == bgpflap.ClassLineCard {
+			disagreements++
+			fmt.Printf("card %-16s %s: %d flaps within %v\n  Bayesian: %s | rule-based verdicts: %v\n",
+				g.Card, g.Start.Format(time.DateTime), len(g.Diagnoses), *window, res.Best, keys(ruleVerdicts))
+		}
+	}
+	fmt.Printf("\n%d flaps in %d card groups; %d groups flagged as line-card issues\n",
+		len(ds), len(groups), disagreements)
+	return nil
+}
+
+// appBuilders maps application names to their Build functions.
+var appBuilders = map[string]func() (*event.Library, *dgraph.Graph, error){
+	"bgpflap":  bgpflap.Build,
+	"cdn":      cdn.Build,
+	"pim":      pim.Build,
+	"backbone": backbone.Build,
+}
+
+// runGraph emits the application's diagnosis graph as Graphviz DOT — a
+// rendering of the paper's Figs. 4, 5, or 6.
+func runGraph(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("graph: application name required")
+	}
+	build, ok := appBuilders[args[0]]
+	if !ok {
+		return fmt.Errorf("graph: unknown application %q", args[0])
+	}
+	lib, g, err := build()
+	if err != nil {
+		return err
+	}
+	// Application-specific events are the ones absent from the shared
+	// Knowledge Library.
+	base := event.Knowledge()
+	appSpecific := map[string]bool{}
+	for _, name := range lib.Names() {
+		if _, inBase := base.Get(name); !inBase {
+			appSpecific[name] = true
+		}
+	}
+	fmt.Print(g.DOT(args[0], appSpecific))
+	return nil
+}
+
+// runReport renders the full SQM report for an application over a bundle.
+func runReport(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("report: application name required")
+	}
+	a, ok := apps[args[0]]
+	if !ok {
+		return fmt.Errorf("report: unknown application %q", args[0])
+	}
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	data := fs.String("data", "", "dataset bundle directory (required)")
+	trendBin := fs.Duration("trend", 24*time.Hour, "trend bucket width")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("report: -data is required")
+	}
+	bundle, err := platform.Load(*data)
+	if err != nil {
+		return err
+	}
+	sys, err := bundle.Assemble(platform.Options{})
+	if err != nil {
+		return err
+	}
+	eng, err := a.engine(sys.Store, sys.View)
+	if err != nil {
+		return err
+	}
+	ds := eng.DiagnoseAll()
+	return browser.WriteReport(os.Stdout, sys.Store, ds, browser.ReportOptions{
+		Title:    a.title,
+		Display:  a.display,
+		TrendBin: *trendBin,
+		View:     sys.View,
+	})
+}
+
+// runCheck validates every diagnosis rule of an application against the
+// dataset with the Correlation Tester (§II-E): rules whose symptom and
+// diagnostic series are not statistically correlated are flagged.
+func runCheck(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("check: application name required")
+	}
+	build, ok := appBuilders[args[0]]
+	if !ok {
+		return fmt.Errorf("check: unknown application %q", args[0])
+	}
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	data := fs.String("data", "", "dataset bundle directory (required)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("check: -data is required")
+	}
+	bundle, err := platform.Load(*data)
+	if err != nil {
+		return err
+	}
+	sys, err := bundle.Assemble(platform.Options{})
+	if err != nil {
+		return err
+	}
+	_, g, err := build()
+	if err != nil {
+		return err
+	}
+	m := browser.Miner{Store: sys.Store}
+	verdicts := m.ValidateGraph(g, bundle.Start, bundle.Start.Add(bundle.Duration))
+	pass, fail, skip := 0, 0, 0
+	for _, v := range verdicts {
+		switch {
+		case v.Err != nil:
+			skip++
+			fmt.Printf("SKIP  %-60s (%v)\n", v.Rule.Key(), v.Err)
+		case v.Result.Significant:
+			pass++
+			fmt.Printf("PASS  %-60s score %6.2f\n", v.Rule.Key(), v.Result.Score)
+		default:
+			fail++
+			fmt.Printf("FAIL  %-60s score %6.2f\n", v.Rule.Key(), v.Result.Score)
+		}
+	}
+	fmt.Printf("\n%d rules: %d pass, %d fail, %d untestable on this data\n", len(verdicts), pass, fail, skip)
+	return nil
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

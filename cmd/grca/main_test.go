@@ -1,0 +1,130 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"grca/internal/platform"
+	"grca/internal/simnet"
+)
+
+// writeBundle generates a small corpus on disk for CLI tests.
+func writeBundle(t *testing.T, cfg simnet.Config) string {
+	t.Helper()
+	d, err := simnet.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "corpus")
+	if err := platform.Save(dir, platform.BundleFromDataset(d)); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// capture redirects stdout around fn and returns what it printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outc := make(chan string, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		outc <- string(data)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outc
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("command failed: %v\noutput: %s", runErr, out)
+	}
+	return out
+}
+
+func TestRunBGPFlapCommand(t *testing.T) {
+	dir := writeBundle(t, simnet.Config{
+		Seed: 61, PoPs: 2, PERsPerPoP: 1, SessionsPerPER: 6,
+		Duration: 2 * 24 * time.Hour, BGPFlapIncidents: 40,
+	})
+	out := capture(t, func() error {
+		return runApp([]string{"bgpflap", "-data", dir, "-score", "-show", "1"})
+	})
+	for _, want := range []string{"Root Cause Breakdown of BGP Flaps", "symptoms diagnosed", "ground truth:", "root cause:"} {
+		if !containsStr(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := runApp(nil); err == nil {
+		t.Error("missing app accepted")
+	}
+	if err := runApp([]string{"nope", "-data", "x"}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := runApp([]string{"bgpflap"}); err == nil {
+		t.Error("missing -data accepted")
+	}
+	if err := runApp([]string{"bgpflap", "-data", t.TempDir()}); err == nil {
+		t.Error("empty bundle dir accepted")
+	}
+	if err := runBayes(nil); err == nil {
+		t.Error("bayes without -data accepted")
+	}
+	if err := runCheck(nil); err == nil {
+		t.Error("check without app accepted")
+	}
+	if err := runCheck([]string{"nope", "-data", "x"}); err == nil {
+		t.Error("check unknown app accepted")
+	}
+}
+
+func TestListCommands(t *testing.T) {
+	out := capture(t, listEvents)
+	if !containsStr(out, "Link congestion alarm") || !containsStr(out, "Table I") {
+		t.Errorf("events listing:\n%s", out)
+	}
+	out = capture(t, listRules)
+	if !containsStr(out, "55 rules") {
+		t.Errorf("rules listing:\n%s", out)
+	}
+}
+
+func TestCheckCommand(t *testing.T) {
+	dir := writeBundle(t, simnet.Config{
+		Seed: 67, PoPs: 2, PERsPerPoP: 1, SessionsPerPER: 8,
+		Duration: 4 * 24 * time.Hour, BGPFlapIncidents: 120,
+	})
+	out := capture(t, func() error {
+		return runCheck([]string{"bgpflap", "-data", dir})
+	})
+	if !containsStr(out, "PASS") || !containsStr(out, "pass,") {
+		t.Errorf("check output:\n%s", out)
+	}
+}
+
+func TestBayesCommand(t *testing.T) {
+	dir := writeBundle(t, simnet.Config{
+		Seed: 71, PoPs: 2, PERsPerPoP: 1, SessionsPerPER: 10,
+		Duration: 2 * 24 * time.Hour, BGPFlapIncidents: 30, LineCardCrash: true,
+	})
+	out := capture(t, func() error {
+		return runBayes([]string{"-data", dir})
+	})
+	if !containsStr(out, "Line-card Issue") || !containsStr(out, "1 groups flagged") {
+		t.Errorf("bayes output:\n%s", out)
+	}
+}
+
+func containsStr(haystack, needle string) bool { return strings.Contains(haystack, needle) }

@@ -1,0 +1,10 @@
+// Package grca is the root of a from-scratch reproduction of "G-RCA: A
+// Generic Root Cause Analysis Platform for Service Quality Management in
+// Large IP Networks" (Yan, Breslau, Ge, Massey, Pei, Yates — CoNEXT 2010 /
+// IEEE-ACM ToN 2012).
+//
+// The library lives under internal/ (see DESIGN.md for the module map),
+// runnable tools under cmd/, scenario walk-throughs under examples/, and
+// the benchmark harness regenerating every table and figure of the paper's
+// evaluation in bench_test.go.
+package grca

@@ -1,0 +1,3 @@
+module grca
+
+go 1.22

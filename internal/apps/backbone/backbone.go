@@ -1,0 +1,93 @@
+// Package backbone packages the in-network packet-loss RCA application of
+// the paper's §I motivating scenario: sporadic losses reported by probe
+// traffic between PoPs are diagnosed in the aggregate, and the dominant
+// root cause drives the remediation — "should link congestion be
+// determined to be the primary root cause, capacity augmentation is
+// needed along the corresponding network path; alternatively, if packet
+// losses are found to be largely due to intradomain routing
+// reconvergence, deploying technologies such as MPLS fast reroute becomes
+// a priority."
+//
+// The application is assembled almost entirely from the Knowledge
+// Library: the symptom and the congestion/reconvergence rules come from
+// Tables I and II; only two diagnosis rules are application-specific.
+package backbone
+
+import (
+	"fmt"
+
+	"grca/internal/dgraph"
+	"grca/internal/engine"
+	"grca/internal/event"
+	"grca/internal/netstate"
+	"grca/internal/rulespec"
+	"grca/internal/store"
+)
+
+// Spec is the application's rule-specification source.
+const Spec = `
+app "backbone-loss" root "In-network loss increase"
+
+use "In-network loss increase" <- "Link congestion alarm" priority 120
+use "In-network loss increase" <- "OSPF re-convergence event" priority 100
+
+rule "In-network loss increase" <- "Interface flap" {
+    priority 130
+    join     interface
+    symptom  start/end expand 120s 120s
+    diag     start/end expand 5s 5s
+    note     "transient loss while a path link flaps"
+}
+rule "In-network loss increase" <- "Link loss alarm" {
+    priority 110
+    join     interface
+    symptom  start/end expand 300s 300s
+    diag     start/end expand 300s 300s
+    note     "corrupted packets on a path link (dirty fiber)"
+}
+`
+
+// Build parses the specification against the Knowledge Library.
+func Build() (*event.Library, *dgraph.Graph, error) {
+	spec, err := rulespec.Parse(Spec)
+	if err != nil {
+		return nil, nil, fmt.Errorf("backbone: %v", err)
+	}
+	return spec.Build(event.Knowledge(), dgraph.Knowledge())
+}
+
+// NewEngine builds the application's RCA engine over collected data.
+func NewEngine(st *store.Store, view *netstate.View) (*engine.Engine, error) {
+	_, g, err := Build()
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(st, view, g), nil
+}
+
+// DisplayLabel maps diagnosis labels to operator-facing row names.
+func DisplayLabel(primary string) string {
+	switch primary {
+	case event.LinkCongestion:
+		return "Link congestion (augment capacity on the path)"
+	case event.OSPFReconvergence:
+		return "OSPF re-convergence (prioritize MPLS fast reroute)"
+	case event.LinkLoss:
+		return "Link loss / corrupted packets (inspect layer 1)"
+	}
+	return primary
+}
+
+// Recommend renders the §I remediation decision for a diagnosed breakdown
+// keyed by primary labels (not display labels).
+func Recommend(breakdown map[string]float64) string {
+	congestion := breakdown[event.LinkCongestion]
+	reconvergence := breakdown[event.OSPFReconvergence]
+	switch {
+	case congestion > reconvergence && congestion > 0:
+		return "dominant cause is link congestion: plan capacity augmentation along the affected paths"
+	case reconvergence > 0:
+		return "dominant cause is routing re-convergence: prioritize MPLS fast reroute deployment"
+	}
+	return "no dominant in-network cause identified"
+}

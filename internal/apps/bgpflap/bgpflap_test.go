@@ -1,0 +1,183 @@
+package bgpflap
+
+import (
+	"testing"
+	"time"
+
+	"grca/internal/engine"
+	"grca/internal/event"
+	"grca/internal/locus"
+	"grca/internal/platform"
+	"grca/internal/simnet"
+)
+
+func TestBuildGraphShape(t *testing.T) {
+	lib, g, err := Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Root != event.EBGPFlap {
+		t.Errorf("root = %q", g.Root)
+	}
+	// Fig. 4 structure: five direct causes of the flap, four of the HTE,
+	// the layer escalation chain, and three layer-1 rules.
+	if got := len(g.RulesFor(event.EBGPFlap)); got != 5 {
+		t.Errorf("direct rules = %d, want 5", got)
+	}
+	if got := len(g.RulesFor(event.EBGPHoldTimerExpired)); got != 4 {
+		t.Errorf("HTE rules = %d, want 4", got)
+	}
+	if got := len(g.RulesFor(event.InterfaceFlap)); got != 3 {
+		t.Errorf("layer-1 rules = %d, want 3", got)
+	}
+	if err := g.Validate(lib); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's priority example: layer flap (180) outranks CPU rules.
+	for _, r := range g.RulesFor(event.EBGPHoldTimerExpired) {
+		if r.Diagnostic == event.CPUHighSpike && r.Priority >= 180 {
+			t.Error("CPU priority must stay below the layer flap's 180")
+		}
+	}
+	// Application events defined (Table III).
+	for _, name := range []string{event.EBGPFlap, event.CustomerResetSession, event.EBGPHoldTimerExpired} {
+		if _, ok := lib.Get(name); !ok {
+			t.Errorf("missing app event %q", name)
+		}
+	}
+}
+
+func TestBayesConfig(t *testing.T) {
+	cfg, err := BayesConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := cfg.Classes()
+	want := map[string]bool{ClassCPU: true, ClassIface: true, ClassLineCard: true, ClassCustomer: true}
+	for _, c := range classes {
+		delete(want, c)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing classes: %v", want)
+	}
+}
+
+func TestFeaturesExtraction(t *testing.T) {
+	sym := &event.Instance{Name: event.EBGPFlap}
+	root := &engine.Node{Event: event.EBGPFlap, Instance: sym, Children: []*engine.Node{
+		{Event: event.EBGPHoldTimerExpired, Children: []*engine.Node{
+			{Event: event.CPUHighSpike},
+		}},
+		{Event: event.InterfaceFlap},
+	}}
+	ev := Features(engine.Diagnosis{Symptom: sym, Root: root})
+	if !ev[FeatHTE] || !ev[FeatCPUHigh] || !ev[FeatInterfaceFlap] {
+		t.Errorf("features = %v", ev)
+	}
+	if ev[FeatReset] || ev[FeatReboot] {
+		t.Errorf("spurious features = %v", ev)
+	}
+}
+
+// TestLineCardStudy reproduces the §IV-C result shape end to end: the
+// rule-based engine attributes the crash flaps to "Interface flap"; the
+// Bayesian engine, classifying the same-card group jointly, identifies the
+// Line-card Issue.
+func TestLineCardStudy(t *testing.T) {
+	d, err := simnet.Generate(simnet.Config{
+		Seed: 23, PoPs: 2, PERsPerPoP: 1, SessionsPerPER: 12,
+		Duration: 3 * 24 * time.Hour, LineCardCrash: true, BGPFlapIncidents: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := platform.FromDataset(d, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(sys.Store, sys.View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := eng.DiagnoseAll()
+
+	// Identify the crash flaps via ground truth.
+	crashWhere := map[string]bool{}
+	var crashAt time.Time
+	for _, tr := range d.Truth {
+		if tr.Kind == "line-card crash" {
+			crashWhere[tr.Where] = true
+			crashAt = tr.At
+		}
+	}
+	if len(crashWhere) < 4 {
+		t.Fatalf("crash sessions = %d", len(crashWhere))
+	}
+
+	var crashDiags []engine.Diagnosis
+	for _, diag := range ds {
+		if crashWhere[diag.Symptom.Loc.String()] &&
+			diag.Symptom.Start.Sub(crashAt) < 10*time.Minute &&
+			crashAt.Sub(diag.Symptom.Start) < 10*time.Minute {
+			crashDiags = append(crashDiags, diag)
+			if diag.Primary() != event.InterfaceFlap {
+				t.Errorf("rule-based verdict for crash flap = %q, want Interface flap", diag.Primary())
+			}
+		}
+	}
+	if len(crashDiags) < 4 {
+		t.Fatalf("crash diagnoses = %d", len(crashDiags))
+	}
+
+	groups := GroupByCard(sys.Topo, ds, 3*time.Minute)
+	cfg, err := BayesConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundLineCard := false
+	for _, g := range groups {
+		res, err := ClassifyGroup(cfg, g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best == ClassLineCard {
+			foundLineCard = true
+			if len(g.Diagnoses) < 4 {
+				t.Errorf("line-card group size = %d", len(g.Diagnoses))
+			}
+		}
+	}
+	if !foundLineCard {
+		t.Error("Bayesian inference did not surface the line-card issue")
+	}
+	// Singleton interface-flap groups must NOT classify as line card.
+	for _, g := range groups {
+		if len(g.Diagnoses) == 1 && g.Diagnoses[0].Primary() == event.InterfaceFlap {
+			res, err := ClassifyGroup(cfg, g, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Best == ClassLineCard {
+				t.Errorf("lone flap classified as line card")
+			}
+		}
+	}
+}
+
+func TestGroupByCardSkipsUnresolvable(t *testing.T) {
+	d, err := simnet.Generate(simnet.Config{Seed: 2, PoPs: 2, PERsPerPoP: 1,
+		SessionsPerPER: 4, Duration: 2 * 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := platform.FromDataset(d, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := &event.Instance{Name: event.EBGPFlap,
+		Loc: locus.Between(locus.RouterNeighbor, "ghost", "not-an-ip")}
+	groups := GroupByCard(sys.Topo, []engine.Diagnosis{{Symptom: sym, Root: &engine.Node{Instance: sym}}}, time.Minute)
+	if len(groups) != 0 {
+		t.Errorf("unresolvable symptom grouped: %+v", groups)
+	}
+}

@@ -1,0 +1,114 @@
+package bayes
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// synth draws labeled examples from a known generative model so we can
+// check the trained classifier recovers it.
+func synth(rng *rand.Rand, n int) []Labeled {
+	var out []Labeled
+	for i := 0; i < n; i++ {
+		var ex Labeled
+		if rng.Intn(10) < 7 {
+			// Interface issues: flap almost always, HTE sometimes.
+			ex.Class = "iface"
+			ex.Evidence = Evidence{
+				"flap": rng.Float64() < 0.95,
+				"hte":  rng.Float64() < 0.3,
+				"cpu":  rng.Float64() < 0.02,
+			}
+		} else {
+			// CPU issues: cpu + hte, almost never a flap.
+			ex.Class = "cpu"
+			ex.Evidence = Evidence{
+				"flap": rng.Float64() < 0.05,
+				"hte":  rng.Float64() < 0.9,
+				"cpu":  rng.Float64() < 0.9,
+			}
+		}
+		out = append(out, ex)
+	}
+	return out
+}
+
+func TestTrainRecoversModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg, err := Train(synth(rng, 2000), TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Classes(); len(got) != 2 {
+		t.Fatalf("classes = %v", got)
+	}
+	// Held-out accuracy.
+	held := synth(rng, 500)
+	correct := 0
+	for _, ex := range held {
+		res, err := cfg.Classify(ex.Evidence)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Best == ex.Class {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(len(held)); acc < 0.9 {
+		t.Errorf("held-out accuracy = %.3f, want ≥ 0.9", acc)
+	}
+	// Canonical vectors classify as expected.
+	res, _ := cfg.Classify(Evidence{"flap": true})
+	if res.Best != "iface" {
+		t.Errorf("flap-only = %q", res.Best)
+	}
+	res, _ = cfg.Classify(Evidence{"cpu": true, "hte": true})
+	if res.Best != "cpu" {
+		t.Errorf("cpu+hte = %q", res.Best)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, TrainOptions{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+	if _, err := Train([]Labeled{{Class: "", Evidence: Evidence{}}}, TrainOptions{}); err == nil {
+		t.Error("unlabeled example accepted")
+	}
+	// MinExamples filters sparse classes.
+	examples := []Labeled{
+		{Class: "a", Evidence: Evidence{"f": true}},
+		{Class: "a", Evidence: Evidence{"f": true}},
+		{Class: "a", Evidence: Evidence{"f": true}},
+		{Class: "rare", Evidence: Evidence{"g": true}},
+	}
+	cfg, err := Train(examples, TrainOptions{MinExamples: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Classes(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("classes = %v", got)
+	}
+	if _, err := Train(examples, TrainOptions{MinExamples: 10}); err == nil {
+		t.Error("all-filtered training accepted")
+	}
+}
+
+func TestTrainSmoothingKeepsRatiosFinite(t *testing.T) {
+	// A feature never seen in one class must not produce zero or infinite
+	// ratios (the classifier validates positivity on AddClass).
+	examples := []Labeled{
+		{Class: "a", Evidence: Evidence{"f": true}},
+		{Class: "b", Evidence: Evidence{"f": false}},
+	}
+	cfg, err := Train(examples, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.Classify(Evidence{"f": true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.Classify(Evidence{"f": false}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+package browser
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"grca/internal/engine"
+	"grca/internal/locus"
+	"grca/internal/netstate"
+	"grca/internal/store"
+	"grca/internal/temporal"
+)
+
+// ReportOptions configures WriteReport.
+type ReportOptions struct {
+	Title string
+	// Display maps engine labels to table row names (per application).
+	Display func(string) string
+	// TrendBin is the trend bucket width (default 24h).
+	TrendBin time.Duration
+	// DrillDownTop is how many unexplained symptoms get a drill-down
+	// section (default 3); requires View.
+	DrillDownTop int
+	View         *netstate.View
+	// DrillLevel is the spatial level for drill-downs (default Router).
+	DrillLevel locus.Type
+	// DrillWindow is the temporal window for drill-downs (default 5m).
+	DrillWindow time.Duration
+}
+
+// WriteReport renders a complete SQM report for a diagnosed symptom
+// population: summary, root-cause breakdown, symptom trend, and
+// drill-downs into the top unexplained events — the §II's "processing and
+// extracting actionable information from a large number of service
+// impacting events in the aggregate", on paper.
+func WriteReport(w io.Writer, st *store.Store, ds []engine.Diagnosis, opts ReportOptions) error {
+	if len(ds) == 0 {
+		_, err := fmt.Fprintln(w, "no symptoms to report")
+		return err
+	}
+	if opts.TrendBin <= 0 {
+		opts.TrendBin = 24 * time.Hour
+	}
+	if opts.DrillDownTop == 0 {
+		opts.DrillDownTop = 3
+	}
+	if !opts.DrillLevel.Valid() {
+		opts.DrillLevel = locus.Router
+	}
+	if opts.DrillWindow <= 0 {
+		opts.DrillWindow = 5 * time.Minute
+	}
+
+	first, last := ds[0].Symptom.Start, ds[0].Symptom.End
+	var total time.Duration
+	for _, d := range ds {
+		if d.Symptom.Start.Before(first) {
+			first = d.Symptom.Start
+		}
+		if d.Symptom.End.After(last) {
+			last = d.Symptom.End
+		}
+		total += d.Elapsed
+	}
+	title := opts.Title
+	if title == "" {
+		title = "G-RCA service quality report"
+	}
+	fmt.Fprintf(w, "%s\n%s\n\n", title, repeat('=', len(title)))
+	fmt.Fprintf(w, "window:    %s — %s\n", first.Format(time.DateTime), last.Format(time.DateTime))
+	fmt.Fprintf(w, "symptoms:  %d (%s)\n", len(ds), ds[0].Symptom.Name)
+	if total > 0 {
+		fmt.Fprintf(w, "diagnosis: %v total, %v/event\n", total.Round(time.Millisecond),
+			(total / time.Duration(len(ds))).Round(time.Microsecond))
+	}
+	fmt.Fprintln(w)
+
+	if err := WriteTable(w, "Root cause breakdown", Breakdown(ds, opts.Display)); err != nil {
+		return err
+	}
+
+	// Trend of the symptom population.
+	fmt.Fprintf(w, "\nSymptom trend (per %v):\n", opts.TrendBin)
+	bins := int(last.Sub(first)/opts.TrendBin) + 1
+	points := make([]TrendPoint, bins)
+	for i := range points {
+		points[i].Start = first.Add(time.Duration(i) * opts.TrendBin)
+	}
+	for _, d := range ds {
+		i := int(d.Symptom.Start.Sub(first) / opts.TrendBin)
+		if i >= 0 && i < bins {
+			points[i].Count++
+		}
+	}
+	peak := 1
+	for _, p := range points {
+		if p.Count > peak {
+			peak = p.Count
+		}
+	}
+	for _, p := range points {
+		bar := int(40 * p.Count / peak)
+		fmt.Fprintf(w, "  %s  %4d  %s\n", p.Start.Format("2006-01-02 15:04"), p.Count, repeat('#', bar))
+	}
+
+	// Drill-downs into the largest unexplained events.
+	if opts.View != nil {
+		unexplained := Filter(ds, Unexplained())
+		sort.SliceStable(unexplained, func(i, j int) bool {
+			return unexplained[i].Symptom.Duration() > unexplained[j].Symptom.Duration()
+		})
+		if len(unexplained) > 0 {
+			fmt.Fprintf(w, "\nUnexplained symptoms: %d (%.1f%%); drill-downs:\n",
+				len(unexplained), 100*float64(len(unexplained))/float64(len(ds)))
+		}
+		for i, d := range unexplained {
+			if i >= opts.DrillDownTop {
+				break
+			}
+			fmt.Fprintf(w, "  %s\n", d.Symptom)
+			related, err := DrillDown(st, opts.View, d.Symptom, opts.DrillWindow, opts.DrillLevel)
+			if err != nil {
+				fmt.Fprintf(w, "    (drill-down unavailable: %v)\n", err)
+				continue
+			}
+			if len(related) == 0 {
+				fmt.Fprintf(w, "    nothing co-located within %v\n", opts.DrillWindow)
+			}
+			for j, in := range related {
+				if j >= 5 {
+					fmt.Fprintf(w, "    ... and %d more\n", len(related)-5)
+					break
+				}
+				fmt.Fprintf(w, "    saw %s\n", in)
+			}
+		}
+	}
+	return nil
+}
+
+func repeat(c byte, n int) string {
+	if n < 0 {
+		n = 0
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}
+
+// MarginSuggestion is a data-driven recommendation for a rule's symptom
+// expansion margins, addressing the paper's §VI goal of making temporal
+// joining rules "less sensitive": instead of hand-picking X and Y, measure
+// the lag distribution between symptom and diagnostic occurrences and
+// cover its bulk.
+type MarginSuggestion struct {
+	Samples int
+	// Left covers diagnostics preceding the symptom (the P99 lead);
+	// Right covers diagnostics trailing it.
+	Left, Right time.Duration
+	// MedianLead is the P50 symptom-after-diagnostic lag, a direct read
+	// of the dominant protocol timer (e.g. the BGP hold time).
+	MedianLead time.Duration
+}
+
+// Expansion renders the suggestion as a Start/Start expansion with the
+// syslog fuzz added on both sides.
+func (m MarginSuggestion) Expansion(fuzz time.Duration) temporal.Expansion {
+	return temporal.Expansion{Option: temporal.StartStart, Left: m.Left + fuzz, Right: m.Right + fuzz}
+}
+
+// CalibrateMargins measures, for each symptom instance, the nearest
+// *spatially related* diagnostic instance within ±maxLag and returns
+// margins covering 99% of the observed leads and trails. view and level
+// scope the pairing the way the rule under calibration would (a nil view
+// disables the spatial filter — only meaningful when the corpus carries a
+// single failure domain).
+func (m Miner) CalibrateMargins(view *netstate.View, level locus.Type, symptom, diagnostic string, maxLag time.Duration, from, to time.Time) (MarginSuggestion, error) {
+	var leads, trails []time.Duration // lead: diagnostic before symptom
+	for _, sym := range m.Store.Query(symptom, from, to) {
+		var best time.Duration
+		found := false
+		for _, diag := range m.Store.Query(diagnostic, sym.Start.Add(-maxLag), sym.Start.Add(maxLag)) {
+			lag := sym.Start.Sub(diag.Start)
+			if lag > maxLag || lag < -maxLag {
+				continue // overlapped the window without starting in it
+			}
+			if view != nil {
+				rel, err := view.Related(sym.Loc, diag.Loc, level, sym.Start)
+				if err != nil || !rel {
+					continue
+				}
+			}
+			if !found || abs(lag) < abs(best) {
+				best, found = lag, true
+			}
+		}
+		if !found {
+			continue
+		}
+		if best >= 0 {
+			leads = append(leads, best)
+		} else {
+			trails = append(trails, -best)
+		}
+	}
+	n := len(leads) + len(trails)
+	if n == 0 {
+		return MarginSuggestion{}, fmt.Errorf("browser: no co-occurrences of %q and %q within %v",
+			symptom, diagnostic, maxLag)
+	}
+	s := MarginSuggestion{Samples: n}
+	s.Left = quantile(leads, 0.99)
+	s.Right = quantile(trails, 0.99)
+	s.MedianLead = quantile(leads, 0.50)
+	return s, nil
+}
+
+func abs(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+func quantile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}

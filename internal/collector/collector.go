@@ -1,0 +1,332 @@
+// Package collector implements the G-RCA Data Collector (paper §II-A): it
+// ingests raw records from heterogeneous data sources — syslog in
+// device-local time, SNMP samples keyed by FQDN, OSPF and BGP monitor
+// feeds keyed by addresses, TACACS command logs, layer-1 device logs,
+// performance monitors — normalizes naming conventions, time zones, and
+// identifiers as data is ingested, runs the signature detectors of the
+// event Knowledge Library, and stores the resulting event instances so the
+// RCA engine can correlate them.
+//
+// Raw line formats per source are documented on each Ingest* method.
+// Malformed lines never abort ingestion: they are counted and sampled in
+// Malformed, mirroring how an operational pipeline must survive dirty
+// feeds.
+package collector
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"grca/internal/bgp"
+	"grca/internal/event"
+	"grca/internal/locus"
+	"grca/internal/netmodel"
+	"grca/internal/ospf"
+	"grca/internal/store"
+)
+
+// Source names accepted by Ingest.
+const (
+	SourceSyslog   = "syslog"
+	SourceSNMP     = "snmp"
+	SourceOSPFMon  = "ospfmon"
+	SourceBGPMon   = "bgpmon"
+	SourceTACACS   = "tacacs"
+	SourceWorkflow = "workflow"
+	SourceLayer1   = "layer1"
+	SourcePerfMon  = "perfmon"
+	SourceKeynote  = "keynote"
+	SourceServer   = "serverlog"
+)
+
+// Thresholds configures the detector thresholds of the common event
+// definitions (Table I). Zero values take the Table I defaults; an RCA
+// application may redefine them (the paper's 80% vs 90% congestion
+// example).
+type Thresholds struct {
+	CPUAveragePct  float64       // CPU high (average), default 80
+	LinkUtilPct    float64       // Link congestion alarm, default 80
+	LinkErrorCount float64       // Link loss alarm, default 100
+	ServerLoadPct  float64       // CDN server issue, default 90
+	FlapWindow     time.Duration // max down→up gap treated as a flap, default 10m
+	// DelayFactor / TputFactor / LossDelta flag performance deviations
+	// against the rolling per-pair baseline. Defaults 1.5, 0.7, 0.5.
+	DelayFactor float64
+	TputFactor  float64
+	LossDelta   float64
+}
+
+func (t *Thresholds) defaults() {
+	if t.CPUAveragePct == 0 {
+		t.CPUAveragePct = 80
+	}
+	if t.LinkUtilPct == 0 {
+		t.LinkUtilPct = 80
+	}
+	if t.LinkErrorCount == 0 {
+		t.LinkErrorCount = 100
+	}
+	if t.ServerLoadPct == 0 {
+		t.ServerLoadPct = 90
+	}
+	if t.FlapWindow == 0 {
+		t.FlapWindow = 10 * time.Minute
+	}
+	if t.DelayFactor == 0 {
+		t.DelayFactor = 1.5
+	}
+	if t.TputFactor == 0 {
+		t.TputFactor = 0.7
+	}
+	if t.LossDelta == 0 {
+		t.LossDelta = 0.5
+	}
+}
+
+// Malformed summarizes rejected raw lines.
+type Malformed struct {
+	Count   int
+	Samples []string // first few offending lines with reasons
+}
+
+func (m *Malformed) add(source, line string, err error) {
+	m.Count++
+	if len(m.Samples) < 20 {
+		m.Samples = append(m.Samples, fmt.Sprintf("%s: %q: %v", source, line, err))
+	}
+}
+
+// transition is a buffered up/down edge awaiting flap pairing.
+type transition struct {
+	at   time.Time
+	loc  locus.Location
+	up   bool
+	attr map[string]string
+}
+
+// Collector binds a parsed topology to an event store and routing
+// simulations. Create with New, call Ingest per feed, then Finalize once.
+type Collector struct {
+	Topo    *netmodel.Topology
+	Aliases *netmodel.AliasTable
+	Store   *store.Store
+	OSPF    *ospf.Sim
+	BGP     *bgp.Sim
+
+	// Year anchors syslog timestamps, which carry no year.
+	Year int
+	// WindowStart/WindowEnd, when set, bound the collection period:
+	// syslog wall times are assigned the candidate year (Year−1, Year, or
+	// Year+1) that lands inside the window. This resolves the classic
+	// RFC 3164 year-wrap: a device in a western zone stamps the first
+	// hours of a January 1st collection as December 31st.
+	WindowStart, WindowEnd time.Time
+	// Thresholds configures the detectors.
+	Thresholds Thresholds
+	// Malformed accumulates rejected input lines.
+	Malformed Malformed
+	// EmitGenericSignatures controls whether every syslog mnemonic and
+	// workflow action also produces a generic per-signature event
+	// ("syslog:<MNEMONIC>", "workflow:<action>") at router granularity.
+	// The correlation-mining study of §IV-B requires these candidate
+	// series; bulk RCA runs can leave them off.
+	EmitGenericSignatures bool
+
+	tzCache map[string]*time.Location
+
+	// Buffers drained by Finalize.
+	ifaceTrans map[locus.Location][]transition
+	protoTrans map[locus.Location][]transition
+	bgpTrans   map[locus.Location][]transition
+	pimDown    []transition // PIM adjacency losses (paired opportunistically)
+	pimUp      map[locus.Location][]time.Time
+	costOut    map[string][]ospf.WeightChange // router → cost-out changes (router cost in/out inference)
+	costIn     map[string][]ospf.WeightChange
+
+	perfBase map[string]*baseline
+	keyBase  map[string]*baseline
+
+	finalized bool
+}
+
+// New builds a collector over the parsed topology. The OSPF and BGP
+// simulations start empty and are populated by the respective monitor
+// feeds, exactly as the paper reconstructs routing state from proactively
+// collected monitoring data.
+func New(topo *netmodel.Topology, st *store.Store, year int) *Collector {
+	c := &Collector{
+		Topo:       topo,
+		Aliases:    netmodel.NewAliasTable(topo),
+		Store:      st,
+		Year:       year,
+		tzCache:    map[string]*time.Location{},
+		ifaceTrans: map[locus.Location][]transition{},
+		protoTrans: map[locus.Location][]transition{},
+		bgpTrans:   map[locus.Location][]transition{},
+		pimUp:      map[locus.Location][]time.Time{},
+		costOut:    map[string][]ospf.WeightChange{},
+		costIn:     map[string][]ospf.WeightChange{},
+		perfBase:   map[string]*baseline{},
+		keyBase:    map[string]*baseline{},
+	}
+	c.Thresholds.defaults()
+	c.OSPF = ospf.New(topo, nil)
+	c.BGP = bgp.New(c.OSPF)
+	return c
+}
+
+// Ingest parses one feed. Unknown sources are an error; malformed lines
+// within a known feed are tallied in Malformed and skipped.
+func (c *Collector) Ingest(source string, r io.Reader) error {
+	if c.finalized {
+		return fmt.Errorf("collector: Ingest after Finalize")
+	}
+	var parse func(line string) error
+	switch source {
+	case SourceSyslog:
+		parse = c.parseSyslog
+	case SourceSNMP:
+		parse = c.parseSNMP
+	case SourceOSPFMon:
+		parse = c.parseOSPFMon
+	case SourceBGPMon:
+		parse = c.parseBGPMon
+	case SourceTACACS:
+		parse = c.parseTACACS
+	case SourceWorkflow:
+		parse = c.parseWorkflow
+	case SourceLayer1:
+		parse = c.parseLayer1
+	case SourcePerfMon:
+		parse = c.parsePerfMon
+	case SourceKeynote:
+		parse = c.parseKeynote
+	case SourceServer:
+		parse = c.parseServerLog
+	default:
+		return fmt.Errorf("collector: unknown source %q", source)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || line[0] == '#' {
+			continue
+		}
+		if err := parse(line); err != nil {
+			c.Malformed.add(source, line, err)
+		}
+	}
+	return sc.Err()
+}
+
+// add stores an event instance.
+func (c *Collector) add(name string, start, end time.Time, loc locus.Location, attrs map[string]string) {
+	c.Store.Add(event.Instance{Name: name, Start: start, End: end, Loc: loc, Attrs: attrs})
+}
+
+// Finalize drains the pairing buffers: flap detection over the buffered
+// up/down transitions, router cost in/out inference over the cost-change
+// groups, and PIM adjacency pairing. It must be called exactly once after
+// all feeds are ingested.
+func (c *Collector) Finalize() error {
+	if c.finalized {
+		return fmt.Errorf("collector: Finalize called twice")
+	}
+	c.finalized = true
+	c.pairTransitions(c.ifaceTrans, event.InterfaceDown, event.InterfaceUp, event.InterfaceFlap)
+	c.pairTransitions(c.protoTrans, event.LineProtoDown, event.LineProtoUp, event.LineProtoFlap)
+	c.pairBGP()
+	c.pairPIM()
+	c.inferRouterCost()
+	return nil
+}
+
+// pairTransitions implements the down/up/flap signature family: every down
+// edge yields a down event, every up edge an up event, and a down followed
+// by an up on the same location within FlapWindow additionally yields a
+// flap spanning the pair.
+func (c *Collector) pairTransitions(buf map[locus.Location][]transition, downName, upName, flapName string) {
+	for loc, trans := range buf {
+		sort.SliceStable(trans, func(i, j int) bool { return trans[i].at.Before(trans[j].at) })
+		var pendingDown *transition
+		for i := range trans {
+			tr := &trans[i]
+			if tr.up {
+				c.add(upName, tr.at, tr.at, loc, tr.attr)
+				if pendingDown != nil && tr.at.Sub(pendingDown.at) <= c.Thresholds.FlapWindow {
+					c.add(flapName, pendingDown.at, tr.at, loc, tr.attr)
+				}
+				pendingDown = nil
+			} else {
+				c.add(downName, tr.at, tr.at, loc, tr.attr)
+				pendingDown = tr
+			}
+		}
+	}
+}
+
+// pairBGP emits an eBGP flap for every ADJCHANGE Down→Up pair (a session
+// that goes down and comes back; the unit of Table IV).
+func (c *Collector) pairBGP() {
+	for loc, trans := range c.bgpTrans {
+		sort.SliceStable(trans, func(i, j int) bool { return trans[i].at.Before(trans[j].at) })
+		var pendingDown *transition
+		for i := range trans {
+			tr := &trans[i]
+			if tr.up {
+				if pendingDown != nil && tr.at.Sub(pendingDown.at) <= c.Thresholds.FlapWindow {
+					c.add(event.EBGPFlap, pendingDown.at, tr.at, loc, pendingDown.attr)
+				}
+				pendingDown = nil
+			} else {
+				pendingDown = tr
+			}
+		}
+	}
+}
+
+// pairPIM emits a PIM Neighbor Adjacency Change for every DOWN edge,
+// closed by the next UP when one follows within the flap window.
+func (c *Collector) pairPIM() {
+	sort.SliceStable(c.pimDown, func(i, j int) bool { return c.pimDown[i].at.Before(c.pimDown[j].at) })
+	for _, ups := range c.pimUp {
+		sort.Slice(ups, func(i, j int) bool { return ups[i].Before(ups[j]) })
+	}
+	for _, down := range c.pimDown {
+		end := down.at
+		ups := c.pimUp[down.loc]
+		for _, up := range ups {
+			if !up.Before(down.at) && up.Sub(down.at) <= c.Thresholds.FlapWindow {
+				end = up
+				break
+			}
+		}
+		name := event.PIMAdjacencyChange
+		if down.attr["uplink"] == "true" {
+			name = event.PIMUplinkAdjacencyChange
+		}
+		c.add(name, down.at, end, down.loc, down.attr)
+	}
+}
+
+// localTime resolves a device's syslog clock zone from its parsed
+// configuration, caching time.LoadLocation lookups.
+func (c *Collector) location(router string) *time.Location {
+	r, ok := c.Topo.Routers[router]
+	if !ok || r.TZName == "" {
+		return time.UTC
+	}
+	if loc, ok := c.tzCache[r.TZName]; ok {
+		return loc
+	}
+	loc, err := time.LoadLocation(r.TZName)
+	if err != nil {
+		loc = time.UTC
+	}
+	c.tzCache[r.TZName] = loc
+	return loc
+}

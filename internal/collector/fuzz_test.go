@@ -1,0 +1,42 @@
+package collector
+
+import (
+	"strings"
+	"testing"
+
+	"grca/internal/store"
+	"grca/internal/testnet"
+)
+
+// FuzzIngest feeds arbitrary bytes to every parser: no input may panic or
+// abort ingestion (malformed lines are tallied, never fatal).
+func FuzzIngest(f *testing.F) {
+	f.Add("Jan  2 15:04:05 chi-per1 %LINK-3-UPDOWN: Interface to-custB, changed state to down")
+	f.Add("Jan  2 15:04:05 chi-per1 %BGP-5-ADJCHANGE: neighbor 10.1.0.10 Down")
+	f.Add("Jan  2 15:04:05 chi-per1 %PIM-5-NBRCHG: VRF v: neighbor 10.255.0.9 DOWN")
+	f.Add("1262304000,chi-per1,cpu5min,,87.5")
+	f.Add("2010-01-01T00:00:00Z 10.255.0.1 10.0.0.1 metric 65535")
+	f.Add("1262304000|A|198.51.100.0/24|10.255.0.6|100|3|0|0")
+	f.Add("2010-01-02T03:04:05-05:00|chi-cr1|ops|cost-out interface to-chi-cr2")
+	f.Add("2010/01/02 03:04:05 -0500|sonet-chi-per1-a|SONET-APS|switch")
+	f.Add("1262304000,nyc-per1,chi-per1,23.1,0.0,940")
+	f.Add("\x00\xff garbage \n multi\nline")
+	f.Fuzz(func(t *testing.T, line string) {
+		n := testnet.Build(t.Fatalf)
+		c := New(n.Topo, store.New(), 2010)
+		for _, src := range []string{
+			SourceSyslog, SourceSNMP, SourceOSPFMon, SourceBGPMon,
+			SourceTACACS, SourceWorkflow, SourceLayer1,
+			SourcePerfMon, SourceKeynote, SourceServer,
+		} {
+			if err := c.Ingest(src, strings.NewReader(line)); err != nil {
+				// Only scanner-level failures (e.g. absurd line lengths)
+				// may error; they must be explicit, not panics.
+				t.Logf("ingest %s: %v", src, err)
+			}
+		}
+		if err := c.Finalize(); err != nil {
+			t.Fatalf("finalize: %v", err)
+		}
+	})
+}

@@ -1,0 +1,237 @@
+package collector
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"grca/internal/bgp"
+	"grca/internal/event"
+	"grca/internal/locus"
+	"grca/internal/ospf"
+)
+
+// LSInfinity is the OSPF metric meaning "do not use" as flooded on the
+// wire; it maps to ospf.Infinity in the simulation.
+const LSInfinity = 65535
+
+// routerCostWindow groups per-link cost-out (or cost-in) changes on the
+// same router into one "Router Cost In/Out" inference when they all land
+// within this window (a maintenance costing out the whole router).
+const routerCostWindow = 2 * time.Minute
+
+// parseOSPFMon ingests the OSPF monitor feed (the OSPFMon of the paper),
+// one flooded metric observation per line:
+//
+//	2010-01-02T03:04:05Z 10.255.0.1 10.0.0.1 metric 10
+//	2010-01-02T03:04:05Z 10.255.0.1 10.0.0.1 metric 65535
+//	2010-01-01T00:00:00Z 10.255.0.1 10.0.0.1 metric 10 initial
+//
+// Fields: timestamp (UTC), advertising router's loopback, the link
+// interface address, and the flooded metric. Lines flagged "initial"
+// belong to the monitor's startup full-LSDB download: they establish the
+// baseline weights without generating re-convergence events.
+//
+// Event inference (Table I): every non-initial change yields an "OSPF
+// re-convergence event" at both link interfaces; transitions to LSInfinity
+// yield "Link Cost Out/Down"; transitions back yield "Link Cost In/Up";
+// and Finalize groups whole-router transitions into "Router Cost In/Out".
+func (c *Collector) parseOSPFMon(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) != 5 && !(len(fields) == 6 && fields[5] == "initial") {
+		return fmt.Errorf("want 'ts router ifip metric N [initial]'")
+	}
+	at, err := time.Parse(time.RFC3339, fields[0])
+	if err != nil {
+		return fmt.Errorf("bad timestamp %q", fields[0])
+	}
+	at = at.UTC()
+	if _, err := netip.ParseAddr(fields[1]); err != nil {
+		return fmt.Errorf("bad router address %q", fields[1])
+	}
+	ifip, err := netip.ParseAddr(fields[2])
+	if err != nil {
+		return fmt.Errorf("bad interface address %q", fields[2])
+	}
+	if fields[3] != "metric" {
+		return fmt.Errorf("missing metric keyword")
+	}
+	metric, err := strconv.Atoi(fields[4])
+	if err != nil || metric < 0 {
+		return fmt.Errorf("bad metric %q", fields[4])
+	}
+	initial := len(fields) == 6
+
+	ifc, ok := c.Topo.InterfaceByIP(ifip)
+	if !ok || ifc.Link == nil {
+		return fmt.Errorf("interface address %v not on any known link", ifip)
+	}
+	link := ifc.Link
+
+	w := metric
+	if metric >= LSInfinity {
+		w = ospf.Infinity
+	}
+	old := c.OSPF.WeightAt(link.ID, at)
+	if err := c.OSPF.SetWeight(at, link.ID, w); err != nil {
+		return err
+	}
+	if initial || old == w {
+		return nil
+	}
+
+	locA := locus.Between(locus.Interface, link.A.Router.Name, link.A.Name)
+	locB := locus.Between(locus.Interface, link.B.Router.Name, link.B.Name)
+	attrs := map[string]string{"link": link.ID, "metric": fields[4]}
+	for _, loc := range []locus.Location{locA, locB} {
+		c.add(event.OSPFReconvergence, at, at, loc, attrs)
+	}
+	switch {
+	case w >= ospf.Infinity && old < ospf.Infinity:
+		for _, loc := range []locus.Location{locA, locB} {
+			c.add(event.LinkCostOutDown, at, at, loc, attrs)
+		}
+		ch := ospf.WeightChange{At: at, LinkID: link.ID, Old: old, New: w}
+		c.costOut[link.A.Router.Name] = append(c.costOut[link.A.Router.Name], ch)
+		c.costOut[link.B.Router.Name] = append(c.costOut[link.B.Router.Name], ch)
+	case w < ospf.Infinity && old >= ospf.Infinity:
+		for _, loc := range []locus.Location{locA, locB} {
+			c.add(event.LinkCostInUp, at, at, loc, attrs)
+		}
+		ch := ospf.WeightChange{At: at, LinkID: link.ID, Old: old, New: w}
+		c.costIn[link.A.Router.Name] = append(c.costIn[link.A.Router.Name], ch)
+		c.costIn[link.B.Router.Name] = append(c.costIn[link.B.Router.Name], ch)
+	}
+	return nil
+}
+
+// inferRouterCost runs at Finalize: when every internal link of a router
+// was costed out (or in) within routerCostWindow, the per-link changes are
+// summarized as one "Router Cost In/Out" event at the router — the
+// signature of a whole-router maintenance.
+func (c *Collector) inferRouterCost() {
+	infer := func(buf map[string][]ospf.WeightChange, direction string) {
+		for router, changes := range buf {
+			links := c.internalLinkCount(router)
+			if links == 0 {
+				continue
+			}
+			sort.Slice(changes, func(i, j int) bool { return changes[i].At.Before(changes[j].At) })
+			// Slide a window over the changes; a full-router transition
+			// touches every distinct link within the window.
+			for i := 0; i < len(changes); {
+				seen := map[string]bool{changes[i].LinkID: true}
+				j := i + 1
+				for j < len(changes) && changes[j].At.Sub(changes[i].At) <= routerCostWindow {
+					seen[changes[j].LinkID] = true
+					j++
+				}
+				if len(seen) >= links {
+					c.add(event.RouterCostInOut, changes[i].At, changes[j-1].At,
+						locus.At(locus.Router, router),
+						map[string]string{"direction": direction})
+				}
+				i = j
+			}
+		}
+	}
+	infer(c.costOut, "out")
+	infer(c.costIn, "in")
+}
+
+// internalLinkCount counts the router's links that participate in the IGP
+// (customer attachments do not).
+func (c *Collector) internalLinkCount(router string) int {
+	r, ok := c.Topo.Routers[router]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, card := range r.Cards {
+		for _, p := range card.Ports {
+			if p.Link != nil && !p.CustomerFacing {
+				if o := p.Link.Other(router); o != nil && !o.CustomerFacing {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+// parseBGPMon ingests the route-reflector update feed, pipe-separated:
+//
+//	1262304000|A|198.51.100.0/24|10.255.0.6|100|3|0|0
+//	1262307600|W|198.51.100.0/24|10.255.0.6
+//
+// Announce fields: epoch, "A", prefix, egress next-hop loopback, local
+// preference, AS-path length, MED, origin. Withdraw: epoch, "W", prefix,
+// egress loopback. Egress loopbacks normalize to router names via the
+// alias table.
+func (c *Collector) parseBGPMon(line string) error {
+	parts := strings.Split(line, "|")
+	if len(parts) < 4 {
+		return fmt.Errorf("want at least 4 fields")
+	}
+	epoch, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad epoch %q", parts[0])
+	}
+	at := time.Unix(epoch, 0).UTC()
+	prefix, err := netip.ParsePrefix(parts[2])
+	if err != nil {
+		return fmt.Errorf("bad prefix %q", parts[2])
+	}
+	egress, err := c.Aliases.Canonical(parts[3])
+	if err != nil {
+		return err
+	}
+	switch parts[1] {
+	case "W":
+		return c.BGP.Withdraw(at, prefix, egress)
+	case "A":
+		if len(parts) != 8 {
+			return fmt.Errorf("announce wants 8 fields, got %d", len(parts))
+		}
+		var nums [4]int
+		for i := 0; i < 4; i++ {
+			v, err := strconv.Atoi(parts[4+i])
+			if err != nil {
+				return fmt.Errorf("bad attribute %q", parts[4+i])
+			}
+			nums[i] = v
+		}
+		return c.BGP.Announce(at, bgp.Route{
+			Prefix: prefix, Egress: egress,
+			LocalPref: nums[0], ASPathLen: nums[1], MED: nums[2], Origin: nums[3],
+		})
+	}
+	return fmt.Errorf("unknown update type %q", parts[1])
+}
+
+// EmitEgressChanges materializes "BGP egress change" events (Table I) for
+// the given ingress routers and destination prefixes over [from, to],
+// replaying the collected reflector feed through the emulated decision
+// process. The full cross product of ingresses and destinations is far too
+// large to materialize wholesale (as in the paper, where routes are
+// computed on demand); applications call this for the pairs their
+// diagnosis graphs care about.
+func (c *Collector) EmitEgressChanges(ingresses []string, dests []netip.Prefix, from, to time.Time) {
+	for _, ing := range ingresses {
+		for _, dst := range dests {
+			for _, ch := range c.BGP.EgressChanges(ing, dst.Addr(), from, to) {
+				if ch.Old == "" {
+					// The prefix was first learned inside the window:
+					// table population, not a next-hop change.
+					continue
+				}
+				c.add(event.BGPEgressChange, ch.At, ch.At,
+					locus.Between(locus.IngressDestination, ing, dst.String()),
+					map[string]string{"old": ch.Old, "new": ch.New})
+			}
+		}
+	}
+}

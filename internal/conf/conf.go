@@ -1,0 +1,494 @@
+// Package conf renders and parses router configuration snapshots. The
+// paper's G-RCA derives much of its spatial model from daily router
+// configuration archives (§II-B): router → line-card → interface
+// containment, interface addressing (the /30 association that pairs up
+// point-to-point links), customer attachments, uplink designations, and
+// logical-to-physical circuit mappings. This package round-trips all of
+// that: the simulator renders per-device configs, and the Data Collector
+// parses the archive back into a netmodel.Topology.
+//
+// The format is a Cisco-flavoured plain-text config:
+//
+//	hostname chi-per1
+//	! role: provider-edge
+//	! pop: chi
+//	clock timezone America/Chicago
+//	interface Loopback0
+//	 ip address 10.255.0.3 255.255.255.255
+//	interface so-0/0/0
+//	 card 1
+//	 ip address 10.0.0.6 255.255.255.252
+//	 description UPLINK to chi-cr1 circuit=chi-up1
+//	interface se-0/1/0
+//	 card 0
+//	 ip address 10.1.0.1 255.255.255.252
+//	 description CUST custB circuit=custB-att
+//
+// A separate layer-1 inventory (the paper's "external database") maps
+// circuits to physical links and layer-1 devices:
+//
+//	circuit,physical,kind,devices
+//	chi-up1,chi-up1-c1,optical-mesh,mesh-chi-agg
+package conf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"grca/internal/netmodel"
+)
+
+// DeviceConfig is one rendered configuration snapshot.
+type DeviceConfig struct {
+	Hostname string
+	Text     string
+}
+
+var roleNames = map[string]netmodel.Role{
+	"core":          netmodel.RoleCore,
+	"aggregation":   netmodel.RoleAggregation,
+	"provider-edge": netmodel.RoleProviderEdge,
+	"customer":      netmodel.RoleCustomer,
+	"cdn":           netmodel.RoleCDN,
+}
+
+// Render produces a configuration snapshot for every router in topo,
+// sorted by hostname.
+func Render(topo *netmodel.Topology) []DeviceConfig {
+	var out []DeviceConfig
+	for _, name := range topo.RouterNames() {
+		r := topo.Routers[name]
+		var b strings.Builder
+		fmt.Fprintf(&b, "hostname %s\n", r.Name)
+		fmt.Fprintf(&b, "! role: %s\n", r.Role)
+		fmt.Fprintf(&b, "! pop: %s\n", r.PoP)
+		if r.TZName != "" {
+			fmt.Fprintf(&b, "clock timezone %s\n", r.TZName)
+		}
+		if r.Loopback.IsValid() {
+			fmt.Fprintf(&b, "interface Loopback0\n ip address %s 255.255.255.255\n", r.Loopback)
+		}
+		for _, c := range r.Cards {
+			fmt.Fprintf(&b, "card %d\n", c.Slot)
+		}
+		for _, c := range r.Cards {
+			for _, p := range c.Ports {
+				fmt.Fprintf(&b, "interface %s\n card %d\n", p.Name, c.Slot)
+				if p.Addr.IsValid() {
+					fmt.Fprintf(&b, " ip address %s %s\n", p.IP, maskString(p.Addr))
+				}
+				desc := describe(p)
+				if desc != "" {
+					fmt.Fprintf(&b, " description %s\n", desc)
+				}
+			}
+		}
+		out = append(out, DeviceConfig{Hostname: r.Name, Text: b.String()})
+	}
+	return out
+}
+
+func describe(p *netmodel.Interface) string {
+	circuit := ""
+	if p.Link != nil {
+		circuit = " circuit=" + p.Link.ID
+	}
+	switch {
+	case p.CustomerFacing:
+		return "CUST " + p.Peer + circuit
+	case p.Uplink:
+		far := ""
+		if p.Link != nil {
+			if o := p.Link.Other(p.Router.Name); o != nil {
+				far = " to " + o.Router.Name
+			}
+		}
+		return "UPLINK" + far + circuit
+	case p.Link != nil:
+		far := ""
+		if o := p.Link.Other(p.Router.Name); o != nil {
+			far = " to " + o.Router.Name
+		}
+		return "BACKBONE" + far + circuit
+	}
+	return ""
+}
+
+func maskString(p netip.Prefix) string {
+	bits := p.Bits()
+	var m [4]byte
+	for i := 0; i < bits; i++ {
+		m[i/8] |= 1 << (7 - i%8)
+	}
+	return fmt.Sprintf("%d.%d.%d.%d", m[0], m[1], m[2], m[3])
+}
+
+func maskBits(s string) (int, error) {
+	a, err := netip.ParseAddr(s)
+	if err != nil || !a.Is4() {
+		return 0, fmt.Errorf("conf: bad netmask %q", s)
+	}
+	b := a.As4()
+	bits := 0
+	seenZero := false
+	for _, octet := range b {
+		for i := 7; i >= 0; i-- {
+			if octet&(1<<i) != 0 {
+				if seenZero {
+					return 0, fmt.Errorf("conf: non-contiguous netmask %q", s)
+				}
+				bits++
+			} else {
+				seenZero = true
+			}
+		}
+	}
+	return bits, nil
+}
+
+// RenderInventory produces the layer-1 inventory CSV for topo.
+func RenderInventory(topo *netmodel.Topology) string {
+	var b strings.Builder
+	b.WriteString("circuit,physical,kind,devices\n")
+	ids := make([]string, 0, len(topo.Phys))
+	for id := range topo.Phys {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		p := topo.Phys[id]
+		var devs []string
+		for _, d := range p.L1 {
+			devs = append(devs, d.Name)
+		}
+		circuit := ""
+		if p.Logical != nil {
+			circuit = p.Logical.ID
+		}
+		fmt.Fprintf(&b, "%s,%s,%s,%s\n", circuit, p.ID, p.Kind, strings.Join(devs, ";"))
+	}
+	return b.String()
+}
+
+type parsedIface struct {
+	router   string
+	name     string
+	card     int
+	ip       netip.Addr
+	prefix   netip.Prefix
+	desc     string
+	loopback bool
+}
+
+type parsedDevice struct {
+	hostname string
+	role     netmodel.Role
+	roleSet  bool
+	pop      string
+	tz       string
+	loopback netip.Addr
+	cards    []int
+	ifaces   []*parsedIface
+}
+
+// Parse reconstructs a topology from a configuration archive plus the
+// layer-1 inventory text (may be empty). Interfaces sharing a /30 are
+// paired into logical links named by their configured circuit IDs.
+func Parse(configs []DeviceConfig, inventory string) (*netmodel.Topology, error) {
+	topo := netmodel.NewTopology()
+	var devices []*parsedDevice
+	for _, cfg := range configs {
+		d, err := parseDevice(cfg)
+		if err != nil {
+			return nil, err
+		}
+		devices = append(devices, d)
+	}
+
+	// Materialize routers and interfaces.
+	ifaceObjs := map[*parsedIface]*netmodel.Interface{}
+	for _, d := range devices {
+		r := &netmodel.Router{Name: d.hostname, PoP: d.pop, Role: d.role, TZName: d.tz, Loopback: d.loopback}
+		if err := topo.AddRouter(r); err != nil {
+			return nil, err
+		}
+		maxCard := -1
+		for _, c := range d.cards {
+			if c > maxCard {
+				maxCard = c
+			}
+		}
+		for _, pi := range d.ifaces {
+			if pi.card > maxCard {
+				maxCard = pi.card
+			}
+		}
+		for i := 0; i <= maxCard; i++ {
+			topo.AddCard(r)
+		}
+		for _, pi := range d.ifaces {
+			if pi.card < 0 || pi.card >= len(r.Cards) {
+				return nil, fmt.Errorf("conf: %s interface %s on unknown card %d", d.hostname, pi.name, pi.card)
+			}
+			obj, err := topo.AddInterface(r.Cards[pi.card], pi.name, pi.prefix, pi.ip)
+			if err != nil {
+				return nil, err
+			}
+			ifaceObjs[pi] = obj
+		}
+	}
+
+	// Pair interfaces by shared subnet and connect links.
+	bySubnet := map[netip.Prefix][]*parsedIface{}
+	var order []netip.Prefix
+	for _, d := range devices {
+		for _, pi := range d.ifaces {
+			if !pi.prefix.IsValid() || pi.prefix.Bits() >= 31 {
+				continue
+			}
+			key := pi.prefix.Masked()
+			if _, seen := bySubnet[key]; !seen {
+				order = append(order, key)
+			}
+			bySubnet[key] = append(bySubnet[key], pi)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].String() < order[j].String() })
+	for _, pfx := range order {
+		members := bySubnet[pfx]
+		if len(members) != 2 {
+			continue // stub network or misconfiguration: no link
+		}
+		a, b := members[0], members[1]
+		id := circuitOf(a.desc)
+		if id == "" {
+			id = circuitOf(b.desc)
+		}
+		if id == "" {
+			id = "link-" + pfx.Masked().Addr().String()
+		}
+		l, err := topo.Connect(id, ifaceObjs[a], ifaceObjs[b])
+		if err != nil {
+			return nil, err
+		}
+		for _, pi := range members {
+			obj := ifaceObjs[pi]
+			switch {
+			case strings.HasPrefix(pi.desc, "CUST "):
+				obj.CustomerFacing = true
+				other := l.Other(obj.Router.Name)
+				if other != nil {
+					obj.Peer = other.Router.Name
+					obj.PeerIP = other.IP
+				}
+			case strings.HasPrefix(pi.desc, "UPLINK"):
+				obj.Uplink = true
+			}
+		}
+	}
+
+	if err := parseInventory(topo, inventory); err != nil {
+		return nil, err
+	}
+	return topo, nil
+}
+
+func circuitOf(desc string) string {
+	for _, f := range strings.Fields(desc) {
+		if rest, ok := strings.CutPrefix(f, "circuit="); ok {
+			return rest
+		}
+	}
+	return ""
+}
+
+func parseDevice(cfg DeviceConfig) (*parsedDevice, error) {
+	d := &parsedDevice{role: netmodel.RoleCore}
+	var cur *parsedIface
+	sc := bufio.NewScanner(strings.NewReader(cfg.Text))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		indented := raw[0] == ' ' || raw[0] == '\t'
+		fields := strings.Fields(line)
+		switch {
+		case strings.HasPrefix(line, "! role:"):
+			name := strings.TrimSpace(strings.TrimPrefix(line, "! role:"))
+			role, ok := roleNames[name]
+			if !ok {
+				return nil, fmt.Errorf("conf: %s line %d: unknown role %q", cfg.Hostname, lineNo, name)
+			}
+			d.role, d.roleSet = role, true
+		case strings.HasPrefix(line, "! pop:"):
+			d.pop = strings.TrimSpace(strings.TrimPrefix(line, "! pop:"))
+		case strings.HasPrefix(line, "!"):
+			// comment
+		case indented && cur != nil:
+			if err := parseIfaceLine(cfg.Hostname, lineNo, cur, fields, d); err != nil {
+				return nil, err
+			}
+		case fields[0] == "hostname":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("conf: %s line %d: bad hostname", cfg.Hostname, lineNo)
+			}
+			d.hostname = fields[1]
+		case fields[0] == "clock" && len(fields) == 3 && fields[1] == "timezone":
+			d.tz = fields[2]
+		case fields[0] == "card" && len(fields) == 2:
+			var slot int
+			if _, err := fmt.Sscanf(fields[1], "%d", &slot); err != nil {
+				return nil, fmt.Errorf("conf: %s line %d: bad card %q", cfg.Hostname, lineNo, fields[1])
+			}
+			d.cards = append(d.cards, slot)
+		case fields[0] == "interface" && len(fields) == 2:
+			cur = &parsedIface{router: d.hostname, name: fields[1], card: 0}
+			if fields[1] == "Loopback0" {
+				cur.loopback = true
+			} else {
+				d.ifaces = append(d.ifaces, cur)
+			}
+		default:
+			return nil, fmt.Errorf("conf: %s line %d: unrecognized statement %q", cfg.Hostname, lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if d.hostname == "" {
+		return nil, fmt.Errorf("conf: config %q without hostname", cfg.Hostname)
+	}
+	return d, nil
+}
+
+func parseIfaceLine(host string, lineNo int, cur *parsedIface, fields []string, d *parsedDevice) error {
+	switch fields[0] {
+	case "card":
+		if len(fields) != 2 {
+			return fmt.Errorf("conf: %s line %d: bad card", host, lineNo)
+		}
+		if _, err := fmt.Sscanf(fields[1], "%d", &cur.card); err != nil {
+			return fmt.Errorf("conf: %s line %d: bad card %q", host, lineNo, fields[1])
+		}
+	case "ip":
+		if len(fields) != 4 || fields[1] != "address" {
+			return fmt.Errorf("conf: %s line %d: bad ip statement", host, lineNo)
+		}
+		addr, err := netip.ParseAddr(fields[2])
+		if err != nil {
+			return fmt.Errorf("conf: %s line %d: %v", host, lineNo, err)
+		}
+		bits, err := maskBits(fields[3])
+		if err != nil {
+			return fmt.Errorf("conf: %s line %d: %v", host, lineNo, err)
+		}
+		if cur.loopback {
+			d.loopback = addr
+			return nil
+		}
+		cur.ip = addr
+		cur.prefix = netip.PrefixFrom(addr, bits)
+	case "description":
+		cur.desc = strings.Join(fields[1:], " ")
+	default:
+		return fmt.Errorf("conf: %s line %d: unknown interface statement %q", host, lineNo, fields[0])
+	}
+	return nil
+}
+
+func parseInventory(topo *netmodel.Topology, inventory string) error {
+	if strings.TrimSpace(inventory) == "" {
+		return nil
+	}
+	sc := bufio.NewScanner(strings.NewReader(inventory))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || lineNo == 1 && strings.HasPrefix(line, "circuit,") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 4 {
+			return fmt.Errorf("conf: inventory line %d: want 4 fields, got %d", lineNo, len(parts))
+		}
+		circuit, physID, kindName, devs := parts[0], parts[1], parts[2], parts[3]
+		l, ok := topo.Links[circuit]
+		if !ok {
+			return fmt.Errorf("conf: inventory line %d: unknown circuit %q", lineNo, circuit)
+		}
+		var kind netmodel.L1Kind
+		switch kindName {
+		case "sonet":
+			kind = netmodel.L1SONET
+		case "optical-mesh":
+			kind = netmodel.L1OpticalMesh
+		default:
+			return fmt.Errorf("conf: inventory line %d: unknown kind %q", lineNo, kindName)
+		}
+		var names []string
+		for _, n := range strings.Split(devs, ";") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+		topo.AddPhysical(physID, l, kind, names...)
+	}
+	return sc.Err()
+}
+
+// WriteArchive writes the full archive (configs + inventory) to w in a
+// single concatenated stream, separated by "=== <hostname> ===" markers;
+// ReadArchive reverses it. This is the on-disk format of cmd/grca-sim.
+func WriteArchive(w io.Writer, configs []DeviceConfig, inventory string) error {
+	for _, c := range configs {
+		if _, err := fmt.Fprintf(w, "=== %s ===\n%s", c.Hostname, c.Text); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "=== inventory ===\n%s", inventory)
+	return err
+}
+
+// ReadArchive parses a stream produced by WriteArchive.
+func ReadArchive(r io.Reader) ([]DeviceConfig, string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var configs []DeviceConfig
+	var cur *DeviceConfig
+	var inventory strings.Builder
+	inInventory := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "=== ") && strings.HasSuffix(line, " ===") {
+			name := strings.TrimSuffix(strings.TrimPrefix(line, "=== "), " ===")
+			if name == "inventory" {
+				inInventory = true
+				cur = nil
+				continue
+			}
+			configs = append(configs, DeviceConfig{Hostname: name})
+			cur = &configs[len(configs)-1]
+			inInventory = false
+			continue
+		}
+		switch {
+		case inInventory:
+			inventory.WriteString(line)
+			inventory.WriteByte('\n')
+		case cur != nil:
+			cur.Text += line + "\n"
+		default:
+			return nil, "", fmt.Errorf("conf: archive content before first marker: %q", line)
+		}
+	}
+	return configs, inventory.String(), sc.Err()
+}

@@ -1,0 +1,188 @@
+package conf
+
+import (
+	"strings"
+	"testing"
+
+	"grca/internal/netmodel"
+	"grca/internal/testnet"
+)
+
+func TestRoundTrip(t *testing.T) {
+	n := testnet.Build(t.Fatalf)
+	configs := Render(n.Topo)
+	inventory := RenderInventory(n.Topo)
+
+	got, err := Parse(configs, inventory)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Routers survive with role, PoP, TZ, loopback.
+	if len(got.Routers) != len(n.Topo.Routers) {
+		t.Fatalf("routers = %d, want %d", len(got.Routers), len(n.Topo.Routers))
+	}
+	for name, want := range n.Topo.Routers {
+		r, ok := got.Routers[name]
+		if !ok {
+			t.Fatalf("router %s missing after round trip", name)
+		}
+		if r.Role != want.Role || r.PoP != want.PoP || r.TZName != want.TZName || r.Loopback != want.Loopback {
+			t.Errorf("router %s = {%v %s %s %v}, want {%v %s %s %v}",
+				name, r.Role, r.PoP, r.TZName, r.Loopback, want.Role, want.PoP, want.TZName, want.Loopback)
+		}
+		if len(r.Cards) != len(want.Cards) {
+			t.Errorf("router %s cards = %d, want %d", name, len(r.Cards), len(want.Cards))
+		}
+	}
+
+	// Links survive with IDs and endpoints.
+	if len(got.Links) != len(n.Topo.Links) {
+		t.Fatalf("links = %d, want %d", len(got.Links), len(n.Topo.Links))
+	}
+	for id, want := range n.Topo.Links {
+		l, ok := got.Links[id]
+		if !ok {
+			t.Fatalf("link %s missing", id)
+		}
+		wantEnds := map[string]bool{want.A.Router.Name: true, want.B.Router.Name: true}
+		if !wantEnds[l.A.Router.Name] || !wantEnds[l.B.Router.Name] {
+			t.Errorf("link %s endpoints %s—%s", id, l.A.Router.Name, l.B.Router.Name)
+		}
+	}
+
+	// Customer-facing and uplink flags survive.
+	ifc, ok := got.InterfaceByName("chi-per1", "to-custB")
+	if !ok || !ifc.CustomerFacing || ifc.Peer != "custB" {
+		t.Errorf("customer-facing flags lost: %+v", ifc)
+	}
+	up, ok := got.InterfaceByName("nyc-per1", "to-nyc-cr1")
+	if !ok || !up.Uplink {
+		t.Error("uplink flag lost")
+	}
+
+	// Card assignment survives (uplinks on card 1).
+	if up.Card.Slot != 1 {
+		t.Errorf("uplink card slot = %d, want 1", up.Card.Slot)
+	}
+
+	// Layer-1 inventory survives.
+	if len(got.Phys) != len(n.Topo.Phys) {
+		t.Fatalf("physical links = %d, want %d", len(got.Phys), len(n.Topo.Phys))
+	}
+	l := got.Links["custB-att"]
+	devs := got.Layer1For(l)
+	if len(devs) != 2 || devs[0].Kind != netmodel.L1SONET {
+		t.Errorf("layer-1 devices for custB-att = %v", devs)
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	n := testnet.Build(t.Fatalf)
+	configs := Render(n.Topo)
+	inventory := RenderInventory(n.Topo)
+
+	var buf strings.Builder
+	if err := WriteArchive(&buf, configs, inventory); err != nil {
+		t.Fatal(err)
+	}
+	gotConfigs, gotInv, err := ReadArchive(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotConfigs) != len(configs) {
+		t.Fatalf("configs = %d, want %d", len(gotConfigs), len(configs))
+	}
+	for i := range configs {
+		if gotConfigs[i] != configs[i] {
+			t.Errorf("config %d mismatch:\n%q\nvs\n%q", i, gotConfigs[i], configs[i])
+		}
+	}
+	if gotInv != inventory {
+		t.Errorf("inventory mismatch")
+	}
+	// And the re-read archive parses.
+	if _, err := Parse(gotConfigs, gotInv); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"no hostname", "interface so-0/0/0\n ip address 10.0.0.1 255.255.255.252\n"},
+		{"bad role", "hostname r1\n! role: emperor\n"},
+		{"bad mask", "hostname r1\ninterface x\n ip address 10.0.0.1 255.0.255.0\n"},
+		{"bad addr", "hostname r1\ninterface x\n ip address banana 255.255.255.252\n"},
+		{"unknown statement", "hostname r1\nfrobnicate\n"},
+		{"unknown iface statement", "hostname r1\ninterface x\n shutdown now\n"},
+		{"bad card", "hostname r1\ncard x\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]DeviceConfig{{Hostname: "r1", Text: c.text}}, ""); err == nil {
+			t.Errorf("%s: parse succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestInventoryErrors(t *testing.T) {
+	n := testnet.Build(t.Fatalf)
+	configs := Render(n.Topo)
+	cases := []string{
+		"circuit,physical,kind,devices\nnope,c1,sonet,d1\n",     // unknown circuit
+		"circuit,physical,kind,devices\ncustB-att,c1,warp,d1\n", // unknown kind
+		"circuit,physical,kind,devices\ncustB-att,c1,sonet\n",   // short row
+	}
+	for i, inv := range cases {
+		if _, err := Parse(configs, inv); err == nil {
+			t.Errorf("inventory case %d accepted", i)
+		}
+	}
+	// Empty inventory is fine.
+	if _, err := Parse(configs, "   \n"); err != nil {
+		t.Errorf("empty inventory rejected: %v", err)
+	}
+}
+
+func TestStubSubnetIgnored(t *testing.T) {
+	// An interface with no /30 peer parses but creates no link.
+	cfg := DeviceConfig{Hostname: "r1", Text: strings.Join([]string{
+		"hostname r1",
+		"! role: provider-edge",
+		"! pop: xx",
+		"interface so-0/0/0",
+		" ip address 10.9.0.1 255.255.255.252",
+	}, "\n") + "\n"}
+	topo, err := Parse([]DeviceConfig{cfg}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Links) != 0 {
+		t.Errorf("stub subnet created a link: %v", topo.LinkIDs())
+	}
+	if _, ok := topo.InterfaceByName("r1", "so-0/0/0"); !ok {
+		t.Error("interface missing")
+	}
+}
+
+func TestMaskBits(t *testing.T) {
+	cases := map[string]int{
+		"255.255.255.252": 30,
+		"255.255.255.255": 32,
+		"255.255.254.0":   23,
+		"0.0.0.0":         0,
+	}
+	for s, want := range cases {
+		got, err := maskBits(s)
+		if err != nil || got != want {
+			t.Errorf("maskBits(%s) = %d, %v; want %d", s, got, err, want)
+		}
+	}
+	for _, bad := range []string{"255.0.255.0", "banana", "255.255.255.253"} {
+		if _, err := maskBits(bad); err == nil {
+			t.Errorf("maskBits(%s) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+// Package dgraph models G-RCA diagnosis graphs (paper §II-C, Figs. 4–6).
+// Nodes are event signatures; each directed edge — a *diagnosis rule* —
+// relates a symptom event to a diagnostic event and carries the temporal
+// joining rule, the spatial joining rule (the join level), and the
+// priority used by rule-based reasoning.
+//
+// The package also ships the RCA Knowledge Library's common diagnosis
+// rules reproduced from Table II of the paper; applications assemble their
+// graphs from catalogue rules plus application-specific rules, overriding
+// priorities as their domain knowledge dictates.
+package dgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"grca/internal/event"
+	"grca/internal/locus"
+	"grca/internal/temporal"
+)
+
+// Rule is one edge of a diagnosis graph.
+type Rule struct {
+	// Symptom and Diagnostic name the two event signatures.
+	Symptom    string
+	Diagnostic string
+	// Temporal is the six-parameter joining rule of Fig. 3.
+	Temporal temporal.Rule
+	// JoinLevel is the location type both event locations are converted to
+	// for the spatial join.
+	JoinLevel locus.Type
+	// Priority orders root causes in rule-based reasoning; higher is a
+	// stronger explanation. Deeper causes should carry higher priorities.
+	Priority int
+	// Note is free-form operator documentation.
+	Note string
+}
+
+// Key identifies the edge (symptom, diagnostic) pair.
+func (r Rule) Key() string { return r.Symptom + " <- " + r.Diagnostic }
+
+// Validate performs static checks against an event library.
+func (r Rule) Validate(lib *event.Library) error {
+	if r.Symptom == "" || r.Diagnostic == "" {
+		return fmt.Errorf("dgraph: rule with empty endpoint: %q", r.Key())
+	}
+	if r.Symptom == r.Diagnostic {
+		return fmt.Errorf("dgraph: self-loop rule %q", r.Key())
+	}
+	if !r.JoinLevel.Valid() {
+		return fmt.Errorf("dgraph: rule %q has invalid join level", r.Key())
+	}
+	if lib != nil {
+		if _, ok := lib.Get(r.Symptom); !ok {
+			return fmt.Errorf("dgraph: rule %q references undefined symptom event", r.Key())
+		}
+		if _, ok := lib.Get(r.Diagnostic); !ok {
+			return fmt.Errorf("dgraph: rule %q references undefined diagnostic event", r.Key())
+		}
+	}
+	return nil
+}
+
+// Graph is a diagnosis graph rooted at one symptom event signature.
+type Graph struct {
+	// Root is the symptom event the application diagnoses.
+	Root string
+
+	rules     []Rule
+	bySymptom map[string][]int // symptom event → rule indexes, in add order
+	byKey     map[string]int
+}
+
+// New returns an empty graph rooted at the named symptom event.
+func New(root string) *Graph {
+	return &Graph{Root: root, bySymptom: map[string][]int{}, byKey: map[string]int{}}
+}
+
+// Add inserts a rule. Duplicate (symptom, diagnostic) edges are rejected;
+// use Replace to override a catalogue rule.
+func (g *Graph) Add(r Rule) error {
+	if err := r.Validate(nil); err != nil {
+		return err
+	}
+	if _, dup := g.byKey[r.Key()]; dup {
+		return fmt.Errorf("dgraph: duplicate rule %q", r.Key())
+	}
+	g.byKey[r.Key()] = len(g.rules)
+	g.bySymptom[r.Symptom] = append(g.bySymptom[r.Symptom], len(g.rules))
+	g.rules = append(g.rules, r)
+	return nil
+}
+
+// Replace inserts or overwrites the rule with the same (symptom,
+// diagnostic) pair.
+func (g *Graph) Replace(r Rule) error {
+	if err := r.Validate(nil); err != nil {
+		return err
+	}
+	if i, ok := g.byKey[r.Key()]; ok {
+		g.rules[i] = r
+		return nil
+	}
+	return g.Add(r)
+}
+
+// RulesFor returns the rules whose symptom is the named event, in add
+// order. The slice is shared; callers must not modify it.
+func (g *Graph) RulesFor(symptom string) []Rule {
+	idxs := g.bySymptom[symptom]
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]Rule, len(idxs))
+	for i, idx := range idxs {
+		out[i] = g.rules[idx]
+	}
+	return out
+}
+
+// Rules returns every rule in the graph in add order.
+func (g *Graph) Rules() []Rule { return append([]Rule(nil), g.rules...) }
+
+// Len returns the number of rules.
+func (g *Graph) Len() int { return len(g.rules) }
+
+// Events returns every event name appearing in the graph, sorted.
+func (g *Graph) Events() []string {
+	set := map[string]bool{g.Root: true}
+	for _, r := range g.rules {
+		set[r.Symptom] = true
+		set[r.Diagnostic] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks the whole graph: every rule validates against lib, every
+// non-root symptom is reachable from the root, and the graph is acyclic.
+// (The paper notes cyclic causal relationships — BGP flaps causing CPU
+// overload causing BGP session timeouts — defeat evidence-based reasoning;
+// G-RCA treats them as configuration errors to be refined, and so do we.)
+func (g *Graph) Validate(lib *event.Library) error {
+	if g.Root == "" {
+		return fmt.Errorf("dgraph: graph without a root symptom")
+	}
+	if lib != nil {
+		if _, ok := lib.Get(g.Root); !ok {
+			return fmt.Errorf("dgraph: root event %q undefined", g.Root)
+		}
+	}
+	for _, r := range g.rules {
+		if err := r.Validate(lib); err != nil {
+			return err
+		}
+	}
+	// Reachability from the root.
+	reach := map[string]bool{g.Root: true}
+	queue := []string{g.Root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, idx := range g.bySymptom[n] {
+			d := g.rules[idx].Diagnostic
+			if !reach[d] {
+				reach[d] = true
+				queue = append(queue, d)
+			}
+		}
+	}
+	for sym := range g.bySymptom {
+		if !reach[sym] {
+			return fmt.Errorf("dgraph: rules for %q unreachable from root %q", sym, g.Root)
+		}
+	}
+	return g.checkAcyclic()
+}
+
+func (g *Graph) checkAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(n string) error
+	visit = func(n string) error {
+		color[n] = gray
+		for _, idx := range g.bySymptom[n] {
+			d := g.rules[idx].Diagnostic
+			switch color[d] {
+			case gray:
+				return fmt.Errorf("dgraph: cycle through %q and %q", n, d)
+			case white:
+				if err := visit(d); err != nil {
+					return err
+				}
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	for sym := range g.bySymptom {
+		if color[sym] == white {
+			if err := visit(sym); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package dgraph
+
+import (
+	"strings"
+	"testing"
+
+	"grca/internal/event"
+	"grca/internal/locus"
+)
+
+func TestKnowledgeLibraryRules(t *testing.T) {
+	c := Knowledge()
+	// Table II's 30 compact rows expand to 55 concrete rules.
+	if got := c.Len(); got != 55 {
+		t.Errorf("catalogue size = %d, want 55", got)
+	}
+	// Spot-check representative rows of Table II.
+	pairs := [][2]string{
+		{event.LineProtoFlap, event.InterfaceFlap},
+		{event.InterfaceFlap, event.SONETRestoration},
+		{event.LineProtoDown, event.OpticalFast},
+		{event.BGPEgressChange, event.InterfaceDown},
+		{event.DelayIncrease, event.BGPEgressChange},
+		{event.LossIncrease, event.LinkCongestion},
+		{event.ThroughputDrop, event.OSPFReconvergence},
+		{event.LinkLoss, event.LinkCongestion},
+		{event.LinkLoss, event.LineProtoFlap},
+		{event.OSPFReconvergence, event.CommandCostOut},
+		{event.LinkCostOutDown, event.InterfaceDown},
+		{event.LinkCostInUp, event.CommandCostIn},
+		{event.LinkCongestion, event.OSPFReconvergence},
+	}
+	for _, p := range pairs {
+		if _, ok := c.Find(p[0], p[1]); !ok {
+			t.Errorf("catalogue missing rule %q <- %q", p[0], p[1])
+		}
+	}
+	// State matching: line protocol down is not explained by interface up.
+	if _, ok := c.Find(event.LineProtoDown, event.InterfaceUp); ok {
+		t.Error("catalogue contains state-mismatched escalation rule")
+	}
+	// Every catalogue rule references a Knowledge Library event.
+	lib := event.Knowledge()
+	for _, r := range c.All() {
+		if err := r.Validate(lib); err != nil {
+			t.Errorf("catalogue rule invalid: %v", err)
+		}
+	}
+}
+
+func TestCatalogueMustFind(t *testing.T) {
+	c := Knowledge()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFind did not panic for unknown pair")
+		}
+	}()
+	c.MustFind("no", "pair")
+}
+
+func TestGraphAddAndQuery(t *testing.T) {
+	g := New(event.EBGPFlap)
+	c := Knowledge()
+	r := c.MustFind(event.InterfaceFlap, event.SONETRestoration)
+	r.Priority = 190
+	if err := g.Add(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(r); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	r.Priority = 200
+	if err := g.Replace(r); err != nil {
+		t.Fatal(err)
+	}
+	got := g.RulesFor(event.InterfaceFlap)
+	if len(got) != 1 || got[0].Priority != 200 {
+		t.Errorf("RulesFor after Replace = %+v", got)
+	}
+	if g.RulesFor("nothing") != nil {
+		t.Error("RulesFor unknown symptom should be nil")
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	lib := event.Knowledge()
+	bad := []Rule{
+		{Symptom: "", Diagnostic: "x", JoinLevel: locus.Router},
+		{Symptom: "x", Diagnostic: "x", JoinLevel: locus.Router},
+		{Symptom: "x", Diagnostic: "y"},
+		{Symptom: "undefined", Diagnostic: event.InterfaceFlap, JoinLevel: locus.Router},
+		{Symptom: event.InterfaceFlap, Diagnostic: "undefined", JoinLevel: locus.Router},
+	}
+	for i, r := range bad {
+		if err := r.Validate(lib); err == nil {
+			t.Errorf("bad rule %d validated: %+v", i, r)
+		}
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	lib := event.Knowledge()
+	c := Knowledge()
+
+	g := New(event.LineProtoFlap)
+	mustAdd := func(sym, diag string) {
+		t.Helper()
+		if err := g.Add(c.MustFind(sym, diag)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(event.LineProtoFlap, event.InterfaceFlap)
+	mustAdd(event.InterfaceFlap, event.SONETRestoration)
+	if err := g.Validate(lib); err != nil {
+		t.Errorf("valid graph rejected: %v", err)
+	}
+
+	// Unreachable subtree.
+	g2 := New(event.LineProtoFlap)
+	if err := g2.Add(c.MustFind(event.InterfaceFlap, event.SONETRestoration)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Validate(lib); err == nil || !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("unreachable rules not detected: %v", err)
+	}
+
+	// Cycle: a <- b and b <- a via custom events.
+	l := event.NewLibrary()
+	for _, n := range []string{"a", "b", "root"} {
+		if err := l.Define(event.Definition{Name: n, LocType: locus.Router}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g3 := New("root")
+	add := func(s, d string) {
+		t.Helper()
+		if err := g3.Add(Rule{Symptom: s, Diagnostic: d, JoinLevel: locus.Router}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("root", "a")
+	add("a", "b")
+	add("b", "a")
+	if err := g3.Validate(l); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("cycle not detected: %v", err)
+	}
+
+	// Empty root.
+	if err := New("").Validate(lib); err == nil {
+		t.Error("rootless graph validated")
+	}
+	// Undefined root.
+	if err := New("no-such-event").Validate(lib); err == nil {
+		t.Error("undefined root validated")
+	}
+}
+
+func TestGraphEvents(t *testing.T) {
+	c := Knowledge()
+	g := New(event.LineProtoFlap)
+	if err := g.Add(c.MustFind(event.LineProtoFlap, event.InterfaceFlap)); err != nil {
+		t.Fatal(err)
+	}
+	ev := g.Events()
+	if len(ev) != 2 {
+		t.Fatalf("Events = %v", ev)
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i-1] > ev[i] {
+			t.Fatal("Events not sorted")
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package dgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the diagnosis graph in Graphviz format, matching the visual
+// conventions of the paper's Figs. 4–6: the root symptom at the top,
+// edges from symptom down to diagnostic labeled with the rule priority,
+// and the join level on the edge tooltip. Event names listed in appSpecific
+// are drawn as gray boxes, the paper's marker for application-specific
+// events (Knowledge Library events stay white).
+func (g *Graph) DOT(title string, appSpecific map[string]bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=BT;\n  node [shape=box, fontsize=11];\n")
+
+	events := g.Events()
+	sort.Strings(events)
+	for _, e := range events {
+		attrs := ""
+		switch {
+		case e == g.Root:
+			attrs = ", style=bold"
+		case appSpecific[e]:
+			attrs = ", style=filled, fillcolor=lightgray"
+		}
+		fmt.Fprintf(&b, "  %q [label=%q%s];\n", e, e, attrs)
+	}
+	for _, r := range g.Rules() {
+		style := ""
+		if appSpecific[r.Symptom] || appSpecific[r.Diagnostic] {
+			style = ", style=dashed" // application-specific rule
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q, tooltip=%q%s];\n",
+			r.Diagnostic, r.Symptom, fmt.Sprint(r.Priority),
+			fmt.Sprintf("join %s; sym %s; diag %s", r.JoinLevel, r.Temporal.Symptom, r.Temporal.Diagnostic),
+			style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package dgraph
+
+import (
+	"strings"
+	"testing"
+
+	"grca/internal/event"
+	"grca/internal/locus"
+)
+
+func TestDOT(t *testing.T) {
+	g := New("eBGP flap")
+	mustAdd := func(r Rule) {
+		t.Helper()
+		if err := g.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := Knowledge()
+	r := c.MustFind(event.LineProtoFlap, event.InterfaceFlap)
+	r.Priority = 180
+	mustAdd(r)
+	mustAdd(Rule{Symptom: "eBGP flap", Diagnostic: event.LineProtoFlap,
+		JoinLevel: locus.Interface, Priority: 170})
+
+	dot := g.DOT("bgp-flap", map[string]bool{"eBGP flap": true})
+	for _, want := range []string{
+		`digraph "bgp-flap"`,
+		`"eBGP flap" [label="eBGP flap", style=bold]`,
+		`"Interface flap" -> "Line protocol flap" [label="180"`,
+		`"Line protocol flap" -> "eBGP flap" [label="170"`,
+		"style=dashed", // app-specific rule marker
+		"rankdir=BT",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Rough structural sanity: one node line per event, one edge per rule.
+	if got := strings.Count(dot, "->"); got != g.Len() {
+		t.Errorf("edges = %d, want %d", got, g.Len())
+	}
+}

@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"testing"
+
+	"grca/internal/event"
+	"grca/internal/locus"
+)
+
+// TestParallelMatchesSerial: parallel diagnosis must produce identical
+// verdicts in identical order.
+func TestParallelMatchesSerial(t *testing.T) {
+	f := newFixture(t)
+	// A spread of symptoms with varying evidence.
+	f.add(event.InterfaceFlap, 900, 1, f.ifLoc)
+	f.add(event.CustomerResetSession, 5000, 1, f.adjLoc)
+	f.add(event.SONETRestoration, 8998, 2, locus.At(locus.Layer1Device, "sonet-chi-per1-a"))
+	f.add(event.InterfaceFlap, 9000, 1, f.ifLoc)
+	for i := 0; i < 40; i++ {
+		f.symptom(1000 + i*400)
+	}
+	serial := f.eng.DiagnoseAll()
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		par := f.eng.DiagnoseAllParallel(workers)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d diagnoses, want %d", workers, len(par), len(serial))
+		}
+		for i := range serial {
+			if par[i].Symptom != serial[i].Symptom {
+				t.Fatalf("workers=%d: order diverged at %d", workers, i)
+			}
+			if par[i].Label() != serial[i].Label() {
+				t.Errorf("workers=%d: diagnosis %d = %q, want %q",
+					workers, i, par[i].Label(), serial[i].Label())
+			}
+		}
+	}
+}
+
+func TestParallelEmptyStore(t *testing.T) {
+	f := newFixture(t)
+	if got := f.eng.DiagnoseAllParallel(4); len(got) != 0 {
+		t.Errorf("empty parallel run = %v", got)
+	}
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"grca/internal/event"
+	"grca/internal/locus"
+)
+
+// TestDiagnosisInvariants seeds random evidence layouts and checks the
+// structural invariants of every diagnosis:
+//   - determinism: diagnosing the same symptom twice is identical;
+//   - every reported cause names an event from the diagnosis graph;
+//   - every cause's priority is the maximum over all leaf evidence;
+//   - the evidence tree never contains the symptom instance itself.
+func TestDiagnosisInvariants(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		f := newFixture(t)
+		rng := rand.New(rand.NewSource(seed))
+		graphEvents := map[string]bool{}
+		for _, e := range f.eng.Graph.Events() {
+			graphEvents[e] = true
+		}
+		// Random evidence soup around a few symptoms.
+		for i := 0; i < 30; i++ {
+			at := rng.Intn(20000)
+			switch rng.Intn(4) {
+			case 0:
+				f.add(event.InterfaceFlap, at, 1+rng.Intn(60), f.ifLoc)
+			case 1:
+				f.add(event.CPUHighSpike, at, 5, locus.At(locus.Router, "chi-per1"))
+			case 2:
+				f.add(event.CustomerResetSession, at, 1, f.adjLoc)
+			case 3:
+				f.add(event.SONETRestoration, at, 2, locus.At(locus.Layer1Device, "sonet-chi-per1-a"))
+			}
+		}
+		for i := 0; i < 5; i++ {
+			sym := f.symptom(rng.Intn(20000))
+			d1 := f.eng.Diagnose(sym)
+			d2 := f.eng.Diagnose(sym)
+			if d1.Label() != d2.Label() || len(d1.Causes) != len(d2.Causes) {
+				t.Fatalf("seed %d: nondeterministic diagnosis: %q vs %q", seed, d1.Label(), d2.Label())
+			}
+			var maxLeaf int
+			sawLeaf := false
+			d1.Root.Walk(func(n *Node) {
+				if n.Instance == sym && n != d1.Root {
+					t.Fatalf("seed %d: symptom used as its own evidence", seed)
+				}
+				if n != d1.Root && n.Leaf() {
+					sawLeaf = true
+					if n.Rule.Priority > maxLeaf {
+						maxLeaf = n.Rule.Priority
+					}
+				}
+			})
+			for _, c := range d1.Causes {
+				if !graphEvents[c.Event] {
+					t.Fatalf("seed %d: cause %q not in graph", seed, c.Event)
+				}
+				if !sawLeaf || c.Priority != maxLeaf {
+					t.Fatalf("seed %d: cause priority %d, max leaf %d", seed, c.Priority, maxLeaf)
+				}
+			}
+			if len(d1.Causes) == 0 && sawLeaf {
+				t.Fatalf("seed %d: evidence present but diagnosis Unknown", seed)
+			}
+		}
+	}
+}

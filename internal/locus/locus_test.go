@@ -1,0 +1,164 @@
+package locus
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	cases := []struct {
+		t    Type
+		want string
+	}{
+		{Router, "router"},
+		{Interface, "interface"},
+		{Layer1Device, "layer1-device"},
+		{IngressEgress, "ingress:egress"},
+		{ServerClient, "server:client"},
+		{None, "none"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", c.t, got, c.want)
+		}
+	}
+	if got := Type(200).String(); got != "locus.Type(200)" {
+		t.Errorf("out-of-range String = %q", got)
+	}
+}
+
+func TestParseTypeRoundTrip(t *testing.T) {
+	for typ := None + 1; typ < numTypes; typ++ {
+		got, err := ParseType(typ.String())
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", typ.String(), err)
+		}
+		if got != typ {
+			t.Errorf("ParseType(%q) = %v, want %v", typ.String(), got, typ)
+		}
+	}
+	if _, err := ParseType("no-such-type"); err == nil {
+		t.Error("ParseType accepted unknown name")
+	}
+	if _, err := ParseType(""); err == nil {
+		t.Error("ParseType accepted empty name")
+	}
+}
+
+func TestParseTypeCaseAndSpace(t *testing.T) {
+	got, err := ParseType("  Ingress:Egress ")
+	if err != nil || got != IngressEgress {
+		t.Errorf("ParseType with case/space = %v, %v", got, err)
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	if Router.Pair() {
+		t.Error("Router should not be Pair")
+	}
+	if !Interface.Pair() || !Interface.Scoped() || Interface.Span() {
+		t.Error("Interface predicates wrong")
+	}
+	if !IngressEgress.Pair() || !IngressEgress.Span() || IngressEgress.Scoped() {
+		t.Error("IngressEgress predicates wrong")
+	}
+	if None.Valid() || !Router.Valid() || Type(99).Valid() {
+		t.Error("Valid predicates wrong")
+	}
+}
+
+func TestLocationString(t *testing.T) {
+	if s := At(Router, "nyc-cr1").String(); s != "nyc-cr1" {
+		t.Errorf("single String = %q", s)
+	}
+	if s := Between(Interface, "nyc-cr1", "so-1/0/0").String(); s != "nyc-cr1:so-1/0/0" {
+		t.Errorf("pair String = %q", s)
+	}
+	if s := (Location{}).String(); s != "<nowhere>" {
+		t.Errorf("zero String = %q", s)
+	}
+}
+
+func TestLocationRouter(t *testing.T) {
+	if r := Between(Interface, "r1", "if0").Router(); r != "r1" {
+		t.Errorf("Interface Router = %q", r)
+	}
+	if r := At(Router, "r1").Router(); r != "r1" {
+		t.Errorf("Router Router = %q", r)
+	}
+	if r := Between(IngressEgress, "r1", "r2").Router(); r != "" {
+		t.Errorf("span Router = %q, want empty", r)
+	}
+	if r := At(LogicalLink, "l1").Router(); r != "" {
+		t.Errorf("link Router = %q, want empty", r)
+	}
+}
+
+func TestParse(t *testing.T) {
+	loc, err := Parse(Interface, "r1:so-0/0/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loc.A != "r1" || loc.B != "so-0/0/0" {
+		t.Errorf("Parse pair = %+v", loc)
+	}
+	if _, err := Parse(Interface, "r1"); err == nil {
+		t.Error("Parse accepted missing element for pair type")
+	}
+	if _, err := Parse(Router, "r1:x"); err == nil {
+		t.Error("Parse accepted pair for single type")
+	}
+	if _, err := Parse(Router, ""); err == nil {
+		t.Error("Parse accepted empty location")
+	}
+	if _, err := Parse(Interface, ":x"); err == nil {
+		t.Error("Parse accepted empty A")
+	}
+	if _, err := Parse(None, "r1"); err == nil {
+		t.Error("Parse accepted None type")
+	}
+	loc, err = Parse(Router, " r9 ")
+	if err != nil || loc.A != "r9" {
+		t.Errorf("Parse should trim space: %+v, %v", loc, err)
+	}
+}
+
+func TestKeyUniqueness(t *testing.T) {
+	// Locations differing only in type or element split must have distinct
+	// keys. This is load-bearing: the engine indexes joined evidence by key.
+	locs := []Location{
+		At(Router, "a"),
+		At(LogicalLink, "a"),
+		Between(Interface, "a", "b"),
+		Between(LineCard, "a", "b"),
+		Between(Interface, "a:b", ""), // degenerate; still distinct
+	}
+	seen := map[string]Location{}
+	for _, l := range locs {
+		if prev, dup := seen[l.Key()]; dup {
+			t.Errorf("key collision: %+v and %+v -> %q", prev, l, l.Key())
+		}
+		seen[l.Key()] = l
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	f := func(a, b string) bool {
+		// Construct a parseable pair location and verify round trip.
+		if a == "" || b == "" {
+			return true
+		}
+		// Skip inputs the textual form cannot represent unambiguously.
+		for _, r := range a + b {
+			if r == ':' || r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+				return true
+			}
+		}
+		l := Between(IngressEgress, a, b)
+		got, err := Parse(IngressEgress, l.String())
+		return err == nil && got == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

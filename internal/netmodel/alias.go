@@ -1,0 +1,59 @@
+package netmodel
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+)
+
+// AliasTable canonicalizes the many ways different management systems refer
+// to the same device. The paper (§II-A) notes that "the same device may be
+// referenced in different ways by different systems or at different network
+// layers (by a circuit identifier, an IP address, or an interface name)";
+// the Data Collector resolves all of them to canonical names at ingest.
+type AliasTable struct {
+	byAlias map[string]string // normalized alias → canonical router name
+	byIP    map[netip.Addr]string
+}
+
+// NewAliasTable builds the alias table for a topology, deriving the
+// standard alias set for every router: the canonical name itself, its
+// upper-case form, a fully-qualified domain form "<name>.net.example.com",
+// and the loopback address.
+func NewAliasTable(t *Topology) *AliasTable {
+	a := &AliasTable{byAlias: map[string]string{}, byIP: map[netip.Addr]string{}}
+	for name, r := range t.Routers {
+		a.Add(name, name)
+		a.Add(name+".net.example.com", name)
+		if r.Loopback.IsValid() {
+			a.byIP[r.Loopback] = name
+		}
+	}
+	return a
+}
+
+// Add registers alias → canonical. Aliases are matched case-insensitively.
+func (a *AliasTable) Add(alias, canonical string) {
+	a.byAlias[strings.ToLower(strings.TrimSpace(alias))] = canonical
+}
+
+// Canonical resolves any known alias (case-insensitive, FQDN, or textual IP)
+// to the canonical router name.
+func (a *AliasTable) Canonical(ref string) (string, error) {
+	ref = strings.TrimSpace(ref)
+	if name, ok := a.byAlias[strings.ToLower(ref)]; ok {
+		return name, nil
+	}
+	if ip, err := netip.ParseAddr(ref); err == nil {
+		if name, ok := a.byIP[ip]; ok {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("netmodel: unknown device reference %q", ref)
+}
+
+// CanonicalIP resolves a loopback address to its router.
+func (a *AliasTable) CanonicalIP(ip netip.Addr) (string, bool) {
+	name, ok := a.byIP[ip]
+	return name, ok
+}

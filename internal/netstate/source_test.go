@@ -1,0 +1,90 @@
+package netstate_test
+
+import (
+	"testing"
+
+	"grca/internal/locus"
+	"grca/internal/testnet"
+)
+
+// TestExpandSourceDestination covers the full §II-B item 1 chain for a
+// source attached through a configured ingress (the paper's data-center
+// case): Source:Destination → Source:Ingress, Ingress:Destination,
+// Ingress:Egress, Egress:Destination, and the routed element levels.
+func TestExpandSourceDestination(t *testing.T) {
+	n := testnet.Build(t.Fatalf)
+	// Register a source whose configured ingress is nyc-per1. The fixture
+	// registers agent-1 without a configured ingress, so register another.
+	n.View.RegisterClient("dc-app", testnet.AgentAddr, "nyc-per1")
+	sd := locus.Between(locus.SourceDestination, "dc-app", testnet.AgentAddr.String())
+
+	got, err := n.View.Expand(sd, locus.SourceDestination, testnet.T0)
+	if err != nil || len(got) != 1 || got[0] != sd {
+		t.Fatalf("identity = %v, %v", got, err)
+	}
+	got, err = n.View.Expand(sd, locus.SourceIngress, testnet.T0)
+	if err != nil || len(got) != 1 || got[0].B != "nyc-per1" {
+		t.Fatalf("source:ingress = %v, %v", got, err)
+	}
+	got, err = n.View.Expand(sd, locus.EgressDestination, testnet.T0)
+	if err != nil || len(got) != 1 || got[0].A != "chi-per1" {
+		t.Fatalf("egress:destination = %v, %v", got, err)
+	}
+	got, err = n.View.Expand(sd, locus.IngressEgress, testnet.T0)
+	if err != nil || len(got) != 1 || got[0].A != "nyc-per1" || got[0].B != "chi-per1" {
+		t.Fatalf("ingress:egress = %v, %v", got, err)
+	}
+	rts, err := n.View.Expand(sd, locus.Router, testnet.T0)
+	if err != nil || len(rts) < 3 {
+		t.Fatalf("routers = %v, %v", rts, err)
+	}
+	// The normalized ingress:destination carries the matched prefix.
+	idl, err := n.View.Expand(sd, locus.IngressDestination, testnet.T0)
+	if err != nil || len(idl) != 1 || idl[0].B != testnet.ClientPrefix.String() {
+		t.Fatalf("ingress:destination = %v, %v", idl, err)
+	}
+	// A source without a configured ingress cannot expand.
+	bad := locus.Between(locus.SourceDestination, "agent-1", testnet.AgentAddr.String())
+	if _, err := n.View.Expand(bad, locus.Router, testnet.T0); err == nil {
+		t.Error("ingress-less source accepted")
+	}
+}
+
+func TestExpandSourceIngressAndEgressDestination(t *testing.T) {
+	n := testnet.Build(t.Fatalf)
+	// Attach a source at chi-per1's customer port so the interface
+	// resolves through the /30 match.
+	ifc, _ := n.Topo.InterfaceByName("chi-per1", "to-custB")
+	n.View.RegisterClient("site-b", ifc.PeerIP, "chi-per1")
+
+	si := locus.Between(locus.SourceIngress, "site-b", "chi-per1")
+	got, err := n.View.Expand(si, locus.Router, testnet.T0)
+	if err != nil || len(got) != 1 || got[0].A != "chi-per1" {
+		t.Fatalf("source:ingress→router = %v, %v", got, err)
+	}
+	got, err = n.View.Expand(si, locus.Interface, testnet.T0)
+	if err != nil || len(got) != 1 || got[0].B != "to-custB" {
+		t.Fatalf("source:ingress→interface = %v, %v", got, err)
+	}
+	got, err = n.View.Expand(si, locus.PoP, testnet.T0)
+	if err != nil || len(got) != 1 || got[0].A != "chi" {
+		t.Fatalf("source:ingress→pop = %v, %v", got, err)
+	}
+	// Unregistered source: no interface anchor, no error.
+	anon := locus.Between(locus.SourceIngress, "nobody", "chi-per1")
+	if got, err := n.View.Expand(anon, locus.Interface, testnet.T0); err != nil || got != nil {
+		t.Errorf("anonymous source = %v, %v", got, err)
+	}
+	if _, err := n.View.Expand(si, locus.LogicalLink, testnet.T0); err == nil {
+		t.Error("source:ingress→link should be unsupported")
+	}
+
+	ed := locus.Between(locus.EgressDestination, "wdc-per1", "198.51.100.9")
+	got, err = n.View.Expand(ed, locus.Router, testnet.T0)
+	if err != nil || len(got) != 1 || got[0].A != "wdc-per1" {
+		t.Fatalf("egress:destination→router = %v, %v", got, err)
+	}
+	if _, err := n.View.Expand(ed, locus.Interface, testnet.T0); err == nil {
+		t.Error("egress:destination→interface should be unsupported")
+	}
+}

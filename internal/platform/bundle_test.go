@@ -1,0 +1,78 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"grca/internal/apps/bgpflap"
+	"grca/internal/simnet"
+)
+
+func TestBundleSaveLoadRoundTrip(t *testing.T) {
+	d, err := simnet.Generate(simnet.Config{
+		Seed: 31, PoPs: 2, PERsPerPoP: 1, SessionsPerPER: 6,
+		Duration: 2 * 24 * time.Hour, BGPFlapIncidents: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := BundleFromDataset(d)
+	dir := t.TempDir()
+	if err := Save(dir, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Start.Equal(b.Start) || got.Duration != b.Duration {
+		t.Errorf("window mismatch: %v/%v vs %v/%v", got.Start, got.Duration, b.Start, b.Duration)
+	}
+	if len(got.Feeds) != len(b.Feeds) {
+		t.Fatalf("feeds = %d, want %d", len(got.Feeds), len(b.Feeds))
+	}
+	for src, text := range b.Feeds {
+		if got.Feeds[src] != text {
+			t.Errorf("feed %s differs after round trip", src)
+		}
+	}
+	if len(got.Truth) != len(b.Truth) {
+		t.Errorf("truth = %d, want %d", len(got.Truth), len(b.Truth))
+	}
+	if got.CDN.Router != b.CDN.Router || len(got.CDN.Agents) != len(b.CDN.Agents) {
+		t.Errorf("cdn deployment mismatch: %+v", got.CDN)
+	}
+
+	// The loaded bundle assembles and diagnoses identically.
+	sysA, err := b.Assemble(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysB, err := got.Assemble(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engA, err := bgpflap.NewEngine(sysA.Store, sysA.View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engB, err := bgpflap.NewEngine(sysB.Store, sysB.View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsA, dsB := engA.DiagnoseAll(), engB.DiagnoseAll()
+	if len(dsA) != len(dsB) {
+		t.Fatalf("diagnosis counts differ: %d vs %d", len(dsA), len(dsB))
+	}
+	for i := range dsA {
+		if dsA[i].Primary() != dsB[i].Primary() {
+			t.Errorf("diagnosis %d differs: %q vs %q", i, dsA[i].Primary(), dsB[i].Primary())
+		}
+	}
+}
+
+func TestLoadMissingDir(t *testing.T) {
+	if _, err := Load(t.TempDir()); err == nil {
+		t.Error("Load of empty dir succeeded")
+	}
+}

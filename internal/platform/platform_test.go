@@ -1,0 +1,167 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"grca/internal/apps/bgpflap"
+	"grca/internal/apps/cdn"
+	"grca/internal/apps/pim"
+	"grca/internal/engine"
+	"grca/internal/event"
+	"grca/internal/simnet"
+)
+
+// integration fixture: a moderate dataset with all three studies enabled.
+func generate(t *testing.T, cfg simnet.Config) (*simnet.Dataset, *System) {
+	t.Helper()
+	d, err := simnet.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := FromDataset(d, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Collector.Malformed.Count != 0 {
+		t.Fatalf("malformed lines: %+v", sys.Collector.Malformed)
+	}
+	return d, sys
+}
+
+func TestBGPFlapPipelineAccuracy(t *testing.T) {
+	d, sys := generate(t, simnet.Config{
+		Seed: 11, PoPs: 3, PERsPerPoP: 2, SessionsPerPER: 8,
+		Duration: 7 * 24 * time.Hour, BGPFlapIncidents: 250,
+	})
+	eng, err := bgpflap.NewEngine(sys.Store, sys.View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := eng.DiagnoseAll()
+	if len(ds) < 230 {
+		t.Fatalf("diagnosed %d flaps, want ≈250", len(ds))
+	}
+	score := ScoreDiagnoses(d.Truth, "bgp", ds, 2*time.Minute)
+	if score.Total < 230 {
+		t.Fatalf("matched %d of %d", score.Total, len(ds))
+	}
+	if acc := score.Accuracy(); acc < 0.95 {
+		// Dump a few mistakes for debugging.
+		shown := 0
+		for _, diag := range ds {
+			if shown >= 8 {
+				break
+			}
+			where := diag.Symptom.Loc.String()
+			for _, tr := range d.Truth {
+				if tr.Study == "bgp" && tr.Where == where &&
+					absDelta(tr.At, diag.Symptom.Start) <= 2*time.Minute &&
+					diag.Primary() != ExpectedLabel(tr.Kind) {
+					t.Logf("MISS %s at %v: got %q want %q (label %q)",
+						where, diag.Symptom.Start, diag.Primary(), ExpectedLabel(tr.Kind), diag.Label())
+					shown++
+					break
+				}
+			}
+		}
+		t.Errorf("BGP diagnosis accuracy = %.3f, want ≥ 0.95", acc)
+	}
+}
+
+func TestCDNPipelineAccuracy(t *testing.T) {
+	d, sys := generate(t, simnet.Config{
+		Seed: 13, PoPs: 3, PERsPerPoP: 2, SessionsPerPER: 6,
+		Duration: 7 * 24 * time.Hour, CDNIncidents: 150,
+	})
+	eng, err := cdn.NewEngine(sys.Store, sys.View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := eng.DiagnoseAll()
+	if len(ds) < 130 {
+		t.Fatalf("diagnosed %d RTT degradations, want ≈150", len(ds))
+	}
+	score := ScoreDiagnoses(d.Truth, "cdn", ds, 10*time.Minute)
+	if score.Total < 130 {
+		t.Fatalf("matched %d of %d (unmatched %d)", score.Total, len(ds), score.Unmatched)
+	}
+	if acc := score.Accuracy(); acc < 0.9 {
+		shown := 0
+		for _, diag := range ds {
+			if shown >= 8 {
+				break
+			}
+			where := diag.Symptom.Loc.String()
+			for _, tr := range d.Truth {
+				if tr.Study == "cdn" && tr.Where == where &&
+					absDelta(tr.At, diag.Symptom.Start) <= 10*time.Minute &&
+					diag.Primary() != ExpectedLabel(tr.Kind) {
+					t.Logf("MISS %s at %v: got %q want %q", where, diag.Symptom.Start, diag.Primary(), ExpectedLabel(tr.Kind))
+					shown++
+					break
+				}
+			}
+		}
+		t.Errorf("CDN diagnosis accuracy = %.3f, want ≥ 0.9", acc)
+	}
+}
+
+func TestPIMPipelineAccuracy(t *testing.T) {
+	d, sys := generate(t, simnet.Config{
+		Seed: 17, PoPs: 3, PERsPerPoP: 2, SessionsPerPER: 8,
+		MVPNFraction: 0.4, Duration: 7 * 24 * time.Hour, PIMIncidents: 150,
+	})
+	eng, err := pim.NewEngine(sys.Store, sys.View)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := eng.DiagnoseAll()
+	if len(ds) < 130 {
+		t.Fatalf("diagnosed %d adjacency changes, want ≈150", len(ds))
+	}
+	score := ScoreDiagnoses(d.Truth, "pim", ds, 2*time.Minute)
+	if score.Total < 130 {
+		t.Fatalf("matched %d of %d (unmatched %d)", score.Total, len(ds), score.Unmatched)
+	}
+	if acc := score.Accuracy(); acc < 0.9 {
+		shown := 0
+		for _, diag := range ds {
+			if shown >= 10 {
+				break
+			}
+			where := diag.Symptom.Loc.String()
+			for _, tr := range d.Truth {
+				if tr.Study == "pim" && tr.Where == where &&
+					absDelta(tr.At, diag.Symptom.Start) <= 2*time.Minute &&
+					diag.Primary() != ExpectedLabel(tr.Kind) {
+					t.Logf("MISS %s at %v: got %q want %q", where, diag.Symptom.Start, diag.Primary(), ExpectedLabel(tr.Kind))
+					shown++
+					break
+				}
+			}
+		}
+		t.Errorf("PIM diagnosis accuracy = %.3f, want ≥ 0.9", acc)
+	}
+	// The paper classifies >98% of PIM events; at minimum the unknown
+	// share must stay small.
+	b := engine.Breakdown(ds)
+	if b[engine.Unknown] > 10 {
+		t.Errorf("unknown share = %.2f%%, want small (paper: <2%%)", b[engine.Unknown])
+	}
+}
+
+func TestDisplayLabels(t *testing.T) {
+	if got := cdn.DisplayLabel(engine.Unknown); got != "Outside of our network (Unknown)" {
+		t.Errorf("cdn unknown label = %q", got)
+	}
+	if got := pim.DisplayLabel(event.InterfaceFlap); got != "interface (customer facing) flap" {
+		t.Errorf("pim iface label = %q", got)
+	}
+	if got := bgpflap.DisplayLabel(event.EBGPHoldTimerExpired); got != "eBGP HTE (due to unknown reasons)" {
+		t.Errorf("bgp HTE label = %q", got)
+	}
+	if got := bgpflap.DisplayLabel(event.InterfaceFlap); got != event.InterfaceFlap {
+		t.Errorf("bgp passthrough label = %q", got)
+	}
+}

@@ -1,0 +1,124 @@
+// Package realtime adds streaming root cause analysis to G-RCA — the
+// paper's §VI future-work item "support real-time root cause
+// applications". A Processor consumes the normalized event stream as the
+// Data Collector produces it and diagnoses each symptom as soon as its
+// evidence horizon has passed, rather than in an offline batch.
+//
+// An event becomes available at its end time (a flap is only a flap once
+// the interface came back up). The processor holds each symptom for a
+// grace period — long enough for every diagnostic its graph could join to
+// have arrived — and then runs the standard engine against the data
+// observed so far. Replaying a batch corpus through a Processor therefore
+// yields byte-identical diagnoses to the offline run, which is the
+// package's central test.
+package realtime
+
+import (
+	"fmt"
+	"time"
+
+	"grca/internal/dgraph"
+	"grca/internal/engine"
+	"grca/internal/event"
+	"grca/internal/netstate"
+	"grca/internal/store"
+)
+
+// Processor is a streaming RCA pipeline for one application graph.
+type Processor struct {
+	// Grace is how long past a symptom's end diagnosis waits for trailing
+	// evidence; see GraceFor.
+	Grace time.Duration
+
+	eng     *engine.Engine
+	st      *store.Store
+	pending []*event.Instance
+	now     time.Time
+}
+
+// New builds a streaming processor. The store starts empty and fills from
+// the observed stream; view supplies the (historically reconstructed)
+// network condition exactly as in batch mode.
+func New(view *netstate.View, g *dgraph.Graph, grace time.Duration) *Processor {
+	st := store.New()
+	return &Processor{Grace: grace, eng: engine.New(st, view, g), st: st}
+}
+
+// Store exposes the processor's event store (e.g. for trending).
+func (p *Processor) Store() *store.Store { return p.st }
+
+// Observe ingests one normalized event instance. Instances must arrive in
+// nondecreasing order of availability (their End time), with a tolerance
+// of Grace for cross-source skew; older instances are rejected so that a
+// mis-ordered feed surfaces instead of silently degrading diagnoses.
+//
+// Observe returns the diagnoses of every pending symptom whose grace
+// period elapsed as the stream clock advanced.
+func (p *Processor) Observe(in event.Instance) ([]engine.Diagnosis, error) {
+	avail := in.End
+	if avail.Before(p.now.Add(-p.Grace)) {
+		return nil, fmt.Errorf("realtime: instance %v available at %v arrived after clock %v (beyond grace)",
+			in.Name, avail, p.now)
+	}
+	stored := p.st.Add(in)
+	if avail.After(p.now) {
+		p.now = avail
+	}
+	if in.Name == p.eng.Graph.Root {
+		p.pending = append(p.pending, stored)
+	}
+	return p.drain(false), nil
+}
+
+// Flush diagnoses every still-pending symptom; call it when the stream
+// ends.
+func (p *Processor) Flush() []engine.Diagnosis { return p.drain(true) }
+
+// Pending reports how many symptoms await their grace period.
+func (p *Processor) Pending() int { return len(p.pending) }
+
+func (p *Processor) drain(all bool) []engine.Diagnosis {
+	var out []engine.Diagnosis
+	kept := p.pending[:0]
+	for _, sym := range p.pending {
+		if all || !sym.End.Add(p.Grace).After(p.now) {
+			out = append(out, p.eng.Diagnose(sym))
+		} else {
+			kept = append(kept, sym)
+		}
+	}
+	p.pending = kept
+	return out
+}
+
+// GraceFor derives a safe grace period from a diagnosis graph: the
+// maximum "future reach" of any evidence chain from the root — how long
+// after a symptom ends the latest joinable diagnostic can still become
+// available. maxEventDuration bounds how long an individual diagnostic
+// event can run (e.g. the collector's flap window); it is added per chain
+// level because a diagnostic's availability is its end time.
+func GraceFor(g *dgraph.Graph, maxEventDuration time.Duration) time.Duration {
+	memo := map[string]time.Duration{}
+	var reach func(name string, onPath map[string]bool) time.Duration
+	reach = func(name string, onPath map[string]bool) time.Duration {
+		if r, ok := memo[name]; ok {
+			return r
+		}
+		if onPath[name] {
+			return 0 // defensive: validated graphs are acyclic
+		}
+		onPath[name] = true
+		var best time.Duration
+		for _, rule := range g.RulesFor(name) {
+			r := rule.Temporal.Symptom.Right + rule.Temporal.Diagnostic.Left +
+				maxEventDuration + reach(rule.Diagnostic, onPath)
+			if r > best {
+				best = r
+			}
+		}
+		delete(onPath, name)
+		memo[name] = best
+		return best
+	}
+	return reach(g.Root, map[string]bool{})
+}

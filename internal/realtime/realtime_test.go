@@ -1,0 +1,182 @@
+package realtime
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"grca/internal/apps/bgpflap"
+	"grca/internal/dgraph"
+	"grca/internal/engine"
+	"grca/internal/event"
+	"grca/internal/locus"
+	"grca/internal/platform"
+	"grca/internal/simnet"
+	"grca/internal/temporal"
+	"grca/internal/testnet"
+)
+
+// TestReplayMatchesBatch streams a full simulated corpus through the
+// processor and verifies every diagnosis matches the offline batch run —
+// the package's defining property.
+func TestReplayMatchesBatch(t *testing.T) {
+	d, err := simnet.Generate(simnet.Config{
+		Seed: 51, PoPs: 3, PERsPerPoP: 2, SessionsPerPER: 8,
+		Duration: 5 * 24 * time.Hour, BGPFlapIncidents: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := platform.FromDataset(d, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g, err := bgpflap.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch reference.
+	batchEng := engine.New(sys.Store, sys.View, g)
+	batch := map[string]string{} // symptom key → primary
+	for _, diag := range batchEng.DiagnoseAll() {
+		batch[diagKey(diag.Symptom)] = diag.Primary()
+	}
+
+	// Stream: all events ordered by availability (end time).
+	var stream []event.Instance
+	for _, name := range sys.Store.Names() {
+		for _, in := range sys.Store.All(name) {
+			stream = append(stream, *in)
+		}
+	}
+	sort.SliceStable(stream, func(i, j int) bool { return stream[i].End.Before(stream[j].End) })
+
+	grace := GraceFor(g, 15*time.Minute)
+	if grace <= 0 {
+		t.Fatalf("grace = %v", grace)
+	}
+	p := New(sys.View, g, grace)
+	var live []engine.Diagnosis
+	for _, in := range stream {
+		out, err := p.Observe(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, out...)
+	}
+	live = append(live, p.Flush()...)
+	if p.Pending() != 0 {
+		t.Errorf("pending after flush = %d", p.Pending())
+	}
+
+	if len(live) != len(batch) {
+		t.Fatalf("live diagnoses = %d, batch = %d", len(live), len(batch))
+	}
+	for _, diag := range live {
+		want, ok := batch[diagKey(diag.Symptom)]
+		if !ok {
+			t.Fatalf("live symptom %v missing from batch", diag.Symptom)
+		}
+		if diag.Primary() != want {
+			t.Errorf("symptom %v: live %q vs batch %q", diag.Symptom, diag.Primary(), want)
+		}
+	}
+}
+
+func diagKey(in *event.Instance) string {
+	return in.Loc.Key() + "|" + in.Start.Format(time.RFC3339Nano)
+}
+
+// miniGraph is a one-rule graph for focused streaming tests.
+func miniGraph(t *testing.T) *dgraph.Graph {
+	t.Helper()
+	g := dgraph.New(event.EBGPFlap)
+	err := g.Add(dgraph.Rule{
+		Symptom: event.EBGPFlap, Diagnostic: event.InterfaceFlap,
+		Temporal: temporal.Rule{
+			Symptom:    temporal.Expansion{Option: temporal.StartStart, Left: 185 * time.Second, Right: 10 * time.Second},
+			Diagnostic: dgraph.Syslog5,
+		},
+		JoinLevel: locus.Interface, Priority: 180,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSymptomHeldForGrace(t *testing.T) {
+	n := testnet.Build(t.Fatalf)
+	g := miniGraph(t)
+	p := New(n.View, g, 10*time.Minute)
+	t0 := testnet.T0
+	ifc, _ := n.Topo.InterfaceByName("chi-per1", "to-custB")
+	adj := locus.Between(locus.RouterNeighbor, "chi-per1", ifc.PeerIP.String())
+
+	// Symptom arrives first; no diagnosis yet.
+	out, err := p.Observe(event.Instance{Name: event.EBGPFlap,
+		Start: t0.Add(time.Hour), End: t0.Add(time.Hour + time.Minute), Loc: adj})
+	if err != nil || len(out) != 0 || p.Pending() != 1 {
+		t.Fatalf("premature diagnosis: %v %v pending=%d", out, err, p.Pending())
+	}
+	// Late evidence within grace still counts: the interface flap event
+	// materializes three minutes after the symptom ended.
+	out, err = p.Observe(event.Instance{Name: event.InterfaceFlap,
+		Start: t0.Add(time.Hour - 2*time.Minute), End: t0.Add(time.Hour + 4*time.Minute),
+		Loc: locus.Between(locus.Interface, "chi-per1", "to-custB")})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("diagnosed before grace: %v %v", out, err)
+	}
+	// A later unrelated event advances the clock past the grace period.
+	out, err = p.Observe(event.Instance{Name: "tick",
+		Start: t0.Add(2 * time.Hour), End: t0.Add(2 * time.Hour),
+		Loc: locus.At(locus.Router, "nyc-cr1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("diagnoses after grace = %d", len(out))
+	}
+	if out[0].Primary() != event.InterfaceFlap {
+		t.Errorf("primary = %q, want interface flap (late evidence must be seen)", out[0].Primary())
+	}
+}
+
+func TestOutOfOrderRejectedBeyondGrace(t *testing.T) {
+	n := testnet.Build(t.Fatalf)
+	p := New(n.View, miniGraph(t), time.Minute)
+	t0 := testnet.T0
+	if _, err := p.Observe(event.Instance{Name: "x", Start: t0.Add(time.Hour), End: t0.Add(time.Hour),
+		Loc: locus.At(locus.Router, "nyc-cr1")}); err != nil {
+		t.Fatal(err)
+	}
+	// 30 s of skew is within the 1-minute grace.
+	if _, err := p.Observe(event.Instance{Name: "x", Start: t0.Add(time.Hour - 30*time.Second),
+		End: t0.Add(time.Hour - 30*time.Second), Loc: locus.At(locus.Router, "nyc-cr1")}); err != nil {
+		t.Errorf("skew within grace rejected: %v", err)
+	}
+	// Ten minutes back is a broken feed.
+	if _, err := p.Observe(event.Instance{Name: "x", Start: t0.Add(50 * time.Minute),
+		End: t0.Add(50 * time.Minute), Loc: locus.At(locus.Router, "nyc-cr1")}); err == nil {
+		t.Error("gross reordering accepted")
+	}
+}
+
+func TestGraceFor(t *testing.T) {
+	_, g, err := bgpflap.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxDur := 10 * time.Minute
+	grace := GraceFor(g, maxDur)
+	// The deepest chain is eBGP flap → HTE/line-proto → interface flap →
+	// layer-1 restoration: three levels, so at least 3×maxDur.
+	if grace < 3*maxDur {
+		t.Errorf("grace = %v, want ≥ %v", grace, 3*maxDur)
+	}
+	// A graph with no rules needs no grace.
+	if got := GraceFor(dgraph.New("root"), maxDur); got != 0 {
+		t.Errorf("empty graph grace = %v", got)
+	}
+}

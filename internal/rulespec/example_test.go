@@ -1,0 +1,49 @@
+package rulespec_test
+
+import (
+	"fmt"
+
+	"grca/internal/dgraph"
+	"grca/internal/event"
+	"grca/internal/rulespec"
+)
+
+// A complete miniature application: one application-specific event, one
+// hand-written rule, one rule pulled from the Table II catalogue.
+func ExampleParse() {
+	spec, err := rulespec.Parse(`
+app "mini" root "eBGP flap"
+
+event "eBGP flap" {
+    loctype  router:neighbor
+    source   syslog
+    desc     "session down and back up"
+}
+
+rule "eBGP flap" <- "Interface flap" {
+    priority 180
+    join     interface
+    symptom  start/start expand 185s 10s
+    diag     start/end   expand 5s 5s
+}
+
+use "Interface flap" <- "SONET restoration" priority 190
+`)
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	lib, graph, err := spec.Build(event.Knowledge(), dgraph.Knowledge())
+	if err != nil {
+		fmt.Println("build:", err)
+		return
+	}
+	def, _ := lib.Get("eBGP flap")
+	fmt.Printf("app %q root %q\n", spec.Name, graph.Root)
+	fmt.Printf("event location type: %s\n", def.LocType)
+	fmt.Printf("rules: %d\n", graph.Len())
+	// Output:
+	// app "mini" root "eBGP flap"
+	// event location type: router:neighbor
+	// rules: 2
+}

@@ -1,0 +1,37 @@
+package rulespec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the specification parser never panics and that any
+// successfully parsed specification carries its declared header fields.
+func FuzzParse(f *testing.F) {
+	f.Add(`app "x" root "r"`)
+	f.Add(bgpSpec)
+	f.Add(`app "x" root "r" event "e" { loctype router source syslog desc "d" }`)
+	f.Add(`app "x" root "r" rule "a" <- "b" { priority 1 join router symptom start/start expand 180s 5s }`)
+	f.Add(`app "x" root "r" use "a" <- "b" priority 3`)
+	f.Add("app \"x\" root \"r\" # comment\n<-{}\"")
+	f.Add(`app "x" root "r" event "e" { desc "\t\n\\\"" loctype router }`)
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if spec.Name == "" && spec.Root == "" && !strings.Contains(src, `""`) {
+			t.Errorf("parsed spec with empty header from %q", src)
+		}
+		for _, r := range spec.Rules {
+			if r.Symptom == "" || r.Diagnostic == "" || !r.JoinLevel.Valid() {
+				t.Errorf("invalid rule survived parsing: %+v", r)
+			}
+		}
+		for _, e := range spec.Events {
+			if e.Validate() != nil {
+				t.Errorf("invalid event survived parsing: %+v", e)
+			}
+		}
+	})
+}

@@ -1,0 +1,230 @@
+package rulespec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"grca/internal/dgraph"
+	"grca/internal/event"
+	"grca/internal/locus"
+	"grca/internal/temporal"
+)
+
+const bgpSpec = `
+# BGP flap RCA application (paper Fig. 4 excerpt).
+app "bgp-flap" root "eBGP flap"
+
+event "eBGP flap" {
+    loctype  router:neighbor
+    source   syslog
+    desc     "eBGP session goes down and comes up, BGP-5-ADJCHANGE msg."
+}
+
+event "Customer reset session" {
+    loctype  router:neighbor
+    source   syslog
+    desc     "eBGP session is reset by the customer, BGP-5-NOTIFICATION msg."
+}
+
+redefine event "Link congestion alarm" {
+    loctype  interface
+    source   SNMP
+    desc     ">= 90% link utilization in the SNMP traffic counter"
+}
+
+rule "eBGP flap" <- "Interface flap" {
+    priority 180
+    join     interface
+    symptom  start/start expand 180s 5s
+    diag     start/end   expand 5s 5s
+    note     "BGP fast external fallover"
+}
+
+rule "eBGP flap" <- "Customer reset session" {
+    priority 200
+    join     router:neighbor
+}
+
+use "Interface flap" <- "SONET restoration" priority 190
+`
+
+func TestParseFullSpec(t *testing.T) {
+	s, err := Parse(bgpSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "bgp-flap" || s.Root != "eBGP flap" {
+		t.Errorf("header = %q root %q", s.Name, s.Root)
+	}
+	if len(s.Events) != 2 || len(s.Redefines) != 1 || len(s.Rules) != 2 || len(s.Uses) != 1 {
+		t.Fatalf("counts: events=%d redefines=%d rules=%d uses=%d",
+			len(s.Events), len(s.Redefines), len(s.Rules), len(s.Uses))
+	}
+	ev := s.Events[0]
+	if ev.Name != "eBGP flap" || ev.LocType != locus.RouterNeighbor || ev.Source != "syslog" {
+		t.Errorf("event = %+v", ev)
+	}
+	r := s.Rules[0]
+	if r.Priority != 180 || r.JoinLevel != locus.Interface {
+		t.Errorf("rule = %+v", r)
+	}
+	if r.Temporal.Symptom.Option != temporal.StartStart ||
+		r.Temporal.Symptom.Left != 180*time.Second ||
+		r.Temporal.Symptom.Right != 5*time.Second {
+		t.Errorf("symptom expansion = %+v", r.Temporal.Symptom)
+	}
+	if r.Note != "BGP fast external fallover" {
+		t.Errorf("note = %q", r.Note)
+	}
+	// Rule with defaulted temporal parameters.
+	r2 := s.Rules[1]
+	if r2.JoinLevel != locus.RouterNeighbor {
+		t.Errorf("join level = %v", r2.JoinLevel)
+	}
+	if r2.Temporal.Symptom != dgraph.Syslog5 || r2.Temporal.Diagnostic != dgraph.Syslog5 {
+		t.Errorf("default temporal = %+v", r2.Temporal)
+	}
+	u := s.Uses[0]
+	if u.Symptom != "Interface flap" || u.Diagnostic != "SONET restoration" || u.Priority != 190 {
+		t.Errorf("use = %+v", u)
+	}
+}
+
+func TestBuild(t *testing.T) {
+	s, err := Parse(bgpSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, g, err := s.Build(event.Knowledge(), dgraph.Knowledge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := lib.Get("eBGP flap"); !ok {
+		t.Error("app event not defined")
+	}
+	d, _ := lib.Get(event.LinkCongestion)
+	if !strings.Contains(d.Description, "90%") {
+		t.Error("redefinition not applied")
+	}
+	if g.Root != "eBGP flap" || g.Len() != 3 {
+		t.Errorf("graph root %q len %d", g.Root, g.Len())
+	}
+	rules := g.RulesFor("Interface flap")
+	if len(rules) != 1 || rules[0].Priority != 190 {
+		t.Errorf("catalogue pull = %+v", rules)
+	}
+	// The pulled rule keeps the catalogue's join level.
+	if rules[0].JoinLevel != locus.Layer1Device {
+		t.Errorf("pulled rule join level = %v", rules[0].JoinLevel)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown catalogue rule",
+			`app "x" root "eBGP flap"
+			 event "eBGP flap" { loctype router:neighbor }
+			 use "eBGP flap" <- "no such event" priority 1`,
+			"catalogue has no rule"},
+		{"redefine unknown",
+			`app "x" root "Interface flap"
+			 redefine event "ghost" { loctype router }`,
+			"redefine of unknown event"},
+		{"duplicate event",
+			`app "x" root "Interface flap"
+			 event "Interface flap" { loctype interface }`,
+			"already defined"},
+		{"undefined rule event",
+			`app "x" root "Interface flap"
+			 rule "Interface flap" <- "ghost" { priority 1 join router }`,
+			"undefined diagnostic"},
+	}
+	for _, c := range cases {
+		s, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("%s: parse failed: %v", c.name, err)
+			continue
+		}
+		_, _, err = s.Build(event.Knowledge(), dgraph.Knowledge())
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing app", `event "x" { loctype router }`},
+		{"missing root", `app "x"`},
+		{"unterminated string", `app "x`},
+		{"newline in string", "app \"x\ny\" root \"r\""},
+		{"bad escape", `app "x\q" root "r"`},
+		{"unknown statement", `app "x" root "r" frobnicate`},
+		{"unknown loctype", `app "x" root "r" event "e" { loctype quux }`},
+		{"unknown event prop", `app "x" root "r" event "e" { color red }`},
+		{"event missing loctype", `app "x" root "r" event "e" { source syslog }`},
+		{"unknown rule prop", `app "x" root "r" rule "a" <- "b" { frob 1 }`},
+		{"bad duration", `app "x" root "r" rule "a" <- "b" { symptom start/end expand zz 5s }`},
+		{"numeric duration", `app "x" root "r" rule "a" <- "b" { symptom start/end expand 180 5s }`},
+		{"bad option", `app "x" root "r" rule "a" <- "b" { symptom middle/middle expand 5s 5s }`},
+		{"self-loop", `app "x" root "r" rule "a" <- "a" { priority 1 }`},
+		{"missing arrow", `app "x" root "r" rule "a" "b" { priority 1 }`},
+		{"stray char", `app "x" root "r" @`},
+		{"lone <", `app "x" root "r" <`},
+		{"use missing priority", `app "x" root "r" use "a" <- "b"`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: parse succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestCommentsAndEscapes(t *testing.T) {
+	src := `
+# leading comment
+app "x" root "r"   # trailing comment
+event "r" {
+    loctype router
+    desc "tab\there \"quoted\" and backslash \\"
+}
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "tab\there \"quoted\" and backslash \\"; s.Events[0].Description != want {
+		t.Errorf("desc = %q, want %q", s.Events[0].Description, want)
+	}
+}
+
+func TestAppRuleOverridesCataloguePull(t *testing.T) {
+	src := `
+app "x" root "Line protocol flap"
+use  "Line protocol flap" <- "Interface flap" priority 10
+rule "Line protocol flap" <- "Interface flap" {
+    priority 99
+    join interface
+}
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g, err := s.Build(event.Knowledge(), dgraph.Knowledge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := g.RulesFor("Line protocol flap")
+	if len(rules) != 1 || rules[0].Priority != 99 {
+		t.Errorf("override failed: %+v", rules)
+	}
+}

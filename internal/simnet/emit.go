@@ -1,0 +1,163 @@
+package simnet
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"grca/internal/collector"
+	"grca/internal/netmodel"
+)
+
+// zoneCache caches time.LoadLocation lookups for emission.
+var zoneCache = map[string]*time.Location{}
+
+func zone(name string) *time.Location {
+	if name == "" {
+		return time.UTC
+	}
+	if loc, ok := zoneCache[name]; ok {
+		return loc
+	}
+	loc, err := time.LoadLocation(name)
+	if err != nil {
+		loc = time.UTC
+	}
+	zoneCache[name] = loc
+	return loc
+}
+
+// deviceRef renders a router reference the way one of the management
+// systems would: short name, FQDN, or upper case, chosen pseudo-randomly
+// so the collector's alias normalization is genuinely exercised.
+func (d *Dataset) deviceRef(router string) string {
+	switch d.rng.Intn(3) {
+	case 0:
+		return router
+	case 1:
+		return router + ".net.example.com"
+	default:
+		return strings.ToUpper(router)
+	}
+}
+
+// syslog emits one syslog line stamped in the device's local wall time.
+func (d *Dataset) syslog(at time.Time, router, msg string) {
+	r := d.Topo.Routers[router]
+	tz := time.UTC
+	if r != nil {
+		tz = zone(r.TZName)
+	}
+	local := at.In(tz)
+	d.emit(collector.SourceSyslog, at,
+		fmt.Sprintf("%s %s %s", local.Format("Jan _2 15:04:05"), d.deviceRef(router), msg))
+}
+
+// Cascade emitters for the common causal chains.
+
+func (d *Dataset) linkUpDown(at time.Time, router, ifname, state string) {
+	d.syslog(at, router, fmt.Sprintf("%%LINK-3-UPDOWN: Interface %s, changed state to %s", ifname, state))
+}
+
+func (d *Dataset) lineProtoUpDown(at time.Time, router, ifname, state string) {
+	d.syslog(at, router, fmt.Sprintf("%%LINEPROTO-5-UPDOWN: Line protocol on Interface %s, changed state to %s", ifname, state))
+}
+
+func (d *Dataset) bgpAdj(at time.Time, router, neighbor, state, reason string) {
+	msg := fmt.Sprintf("%%BGP-5-ADJCHANGE: neighbor %s %s", neighbor, state)
+	if reason != "" {
+		msg += " " + reason
+	}
+	d.syslog(at, router, msg)
+}
+
+func (d *Dataset) bgpHTE(at time.Time, router, neighbor string) {
+	d.syslog(at, router, fmt.Sprintf("%%BGP-5-NOTIFICATION: sent to neighbor %s 4/0 (hold time expired)", neighbor))
+}
+
+func (d *Dataset) bgpCustomerReset(at time.Time, router, neighbor string) {
+	d.syslog(at, router, fmt.Sprintf("%%BGP-5-NOTIFICATION: received from neighbor %s 6/4 (administrative reset)", neighbor))
+}
+
+func (d *Dataset) cpuSpike(at time.Time, router string, pct int) {
+	d.syslog(at, router, fmt.Sprintf("%%SYS-1-CPURISINGTHRESHOLD: Threshold: Total CPU Utilization(Total/Intr): %d%%/2%%", pct))
+}
+
+func (d *Dataset) reboot(at time.Time, router string) {
+	d.syslog(at, router, "%SYS-5-RESTART: System restarted")
+}
+
+// pimVRFChange emits the MVPN adjacency message: reporter lost (or
+// regained) its PE neighbor in the customer VRF; the neighbor is named by
+// loopback, as the protocol does.
+func (d *Dataset) pimVRFChange(at time.Time, reporter, vrf, neighborPE, state string) {
+	loop := d.Topo.Routers[neighborPE].Loopback
+	d.syslog(at, reporter, fmt.Sprintf("%%PIM-5-NBRCHG: VRF %s: neighbor %s %s", vrf, loop, state))
+}
+
+func (d *Dataset) pimUplinkChange(at time.Time, reporter, ifname string, neighborIP string, state string) {
+	d.syslog(at, reporter, fmt.Sprintf("%%PIM-5-NBRCHG: neighbor %s %s on interface %s", neighborIP, state, ifname))
+}
+
+// snmp emits one SNMP sample row.
+func (d *Dataset) snmp(at time.Time, router, object, instance string, value float64) {
+	d.emit(collector.SourceSNMP, at, fmt.Sprintf("%d,%s,%s,%s,%.1f",
+		at.Unix(), d.deviceRef(router), object, instance, value))
+}
+
+// ospfMetric emits one OSPF monitor observation for a link, advertised
+// from its A end.
+func (d *Dataset) ospfMetric(at time.Time, l *netmodel.LogicalLink, metric int, initial bool) {
+	suffix := ""
+	if initial {
+		suffix = " initial"
+	}
+	d.emit(collector.SourceOSPFMon, at, fmt.Sprintf("%s %s %s metric %d%s",
+		at.UTC().Format(time.RFC3339), l.A.Router.Loopback, l.A.IP, metric, suffix))
+}
+
+// bgpAnnounce and bgpWithdraw emit reflector feed records.
+func (d *Dataset) bgpAnnounce(at time.Time, prefix, egress string, localPref, asLen int) {
+	loop := d.Topo.Routers[egress].Loopback
+	d.emit(collector.SourceBGPMon, at, fmt.Sprintf("%d|A|%s|%s|%d|%d|0|0",
+		at.Unix(), prefix, loop, localPref, asLen))
+}
+
+func (d *Dataset) bgpWithdraw(at time.Time, prefix, egress string) {
+	loop := d.Topo.Routers[egress].Loopback
+	d.emit(collector.SourceBGPMon, at, fmt.Sprintf("%d|W|%s|%s", at.Unix(), prefix, loop))
+}
+
+// tacacs emits a command-accounting record with a randomized zone offset.
+func (d *Dataset) tacacs(at time.Time, router, user, command string) {
+	offsets := []int{0, -5 * 3600, -6 * 3600}
+	off := offsets[d.rng.Intn(len(offsets))]
+	stamped := at.In(time.FixedZone("", off)).Format(time.RFC3339)
+	d.emit(collector.SourceTACACS, at, fmt.Sprintf("%s|%s|%s|%s", stamped, d.deviceRef(router), user, command))
+}
+
+func (d *Dataset) workflow(at time.Time, router, ticket, action string) {
+	d.emit(collector.SourceWorkflow, at, fmt.Sprintf("%s|%s|%s|%s",
+		at.UTC().Format(time.RFC3339), d.deviceRef(router), ticket, action))
+}
+
+func (d *Dataset) layer1(at time.Time, device, kind, detail string) {
+	offsets := []int{0, -5 * 3600}
+	off := offsets[d.rng.Intn(len(offsets))]
+	stamped := at.In(time.FixedZone("", off)).Format("2006/01/02 15:04:05 -0700")
+	d.emit(collector.SourceLayer1, at, fmt.Sprintf("%s|%s|%s|%s", stamped, device, kind, detail))
+}
+
+func (d *Dataset) keynote(at time.Time, server, agent string, rttMS, tputKbps float64) {
+	d.emit(collector.SourceKeynote, at, fmt.Sprintf("%d,%s,%s,%.1f,%.0f",
+		at.Unix(), server, agent, rttMS, tputKbps))
+}
+
+func (d *Dataset) serverLog(at time.Time, record, who, value string) {
+	d.emit(collector.SourceServer, at, fmt.Sprintf("%d,%s,%s,%s", at.Unix(), record, who, value))
+}
+
+func (d *Dataset) perf(at time.Time, ingress, egress string, delayMS, lossPct, tputMbps float64) {
+	d.emit(collector.SourcePerfMon, at, fmt.Sprintf("%d,%s,%s,%.1f,%.2f,%.0f",
+		at.Unix(), d.deviceRef(ingress), d.deviceRef(egress), delayMS, lossPct, tputMbps))
+}

@@ -1,0 +1,214 @@
+// Package store implements the event store behind the G-RCA Data
+// Collector. Normalized event instances are inserted as data is ingested
+// and queried by the RCA engine by event name, time window, and location —
+// the access pattern of the paper's "database tables" (§II-A) without the
+// external database dependency.
+//
+// Instances are indexed per event name and kept sorted by start time; a
+// per-name maximum-duration bound turns interval-overlap queries into two
+// binary searches plus a bounded scan.
+package store
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"grca/internal/event"
+	"grca/internal/locus"
+)
+
+type nameIndex struct {
+	instances []*event.Instance // sorted by Start once clean
+	maxDur    time.Duration
+	dirty     bool
+}
+
+// Store is an in-memory event store. It is safe for concurrent use, and
+// reads run under a shared lock so that diagnosis can fan out across
+// goroutines. Reads may trigger a lazy re-sort after a batch of
+// out-of-order writes; a read racing such a write may observe that
+// batch partially, so run bulk analysis after ingestion settles (the
+// normal collector → engine phasing).
+type Store struct {
+	mu     sync.RWMutex
+	byName map[string]*nameIndex
+	byID   []*event.Instance
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{byName: map[string]*nameIndex{}}
+}
+
+// Add inserts a copy of in, assigns it a unique ID, and returns a pointer
+// to the stored instance.
+func (s *Store) Add(in event.Instance) *event.Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addLocked(in)
+}
+
+func (s *Store) addLocked(in event.Instance) *event.Instance {
+	in.ID = len(s.byID)
+	stored := &in
+	s.byID = append(s.byID, stored)
+	idx := s.byName[in.Name]
+	if idx == nil {
+		idx = &nameIndex{}
+		s.byName[in.Name] = idx
+	}
+	if n := len(idx.instances); n > 0 && idx.instances[n-1].Start.After(in.Start) {
+		idx.dirty = true
+	}
+	idx.instances = append(idx.instances, stored)
+	if d := in.Duration(); d > idx.maxDur {
+		idx.maxDur = d
+	}
+	return stored
+}
+
+// AddAll inserts every instance, in order, under a single lock acquisition.
+func (s *Store) AddAll(ins []event.Instance) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, in := range ins {
+		s.addLocked(in)
+	}
+}
+
+// Get returns the instance with the given ID.
+func (s *Store) Get(id int) (*event.Instance, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if id < 0 || id >= len(s.byID) {
+		return nil, false
+	}
+	return s.byID[id], true
+}
+
+// Len returns the total number of stored instances.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.byID)
+}
+
+// Count returns the number of instances of the named event.
+func (s *Store) Count(name string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if idx := s.byName[name]; idx != nil {
+		return len(idx.instances)
+	}
+	return 0
+}
+
+// Names returns all event names present, sorted.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.byName))
+	for n := range s.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (idx *nameIndex) ensureSorted() {
+	if !idx.dirty {
+		return
+	}
+	sort.SliceStable(idx.instances, func(i, j int) bool {
+		return idx.instances[i].Start.Before(idx.instances[j].Start)
+	})
+	idx.dirty = false
+}
+
+// Query returns the instances of the named event whose [Start, End]
+// interval overlaps [from, to] (inclusive on both ends), ordered by start
+// time. The returned slice is freshly allocated.
+func (s *Store) Query(name string, from, to time.Time) []*event.Instance {
+	return s.QueryFunc(name, from, to, nil)
+}
+
+// QueryFunc is Query with an optional location/content filter applied to
+// each candidate. A nil filter accepts everything.
+func (s *Store) QueryFunc(name string, from, to time.Time, keep func(*event.Instance) bool) []*event.Instance {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx := s.byName[name]
+	if idx == nil || to.Before(from) {
+		return nil
+	}
+	s.sortIfDirty(idx)
+	ins := idx.instances
+	// First candidate: an overlapping instance has Start >= from-maxDur.
+	lowBound := from.Add(-idx.maxDur)
+	lo := sort.Search(len(ins), func(i int) bool { return !ins[i].Start.Before(lowBound) })
+	// Last candidate: Start <= to.
+	hi := sort.Search(len(ins), func(i int) bool { return ins[i].Start.After(to) })
+	var out []*event.Instance
+	for _, in := range ins[lo:hi] {
+		if in.End.Before(from) {
+			continue
+		}
+		if keep == nil || keep(in) {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// QueryAt returns the instances of the named event at the exact location,
+// overlapping the window. This is the common engine fast path for
+// element-level joins.
+func (s *Store) QueryAt(name string, from, to time.Time, loc locus.Location) []*event.Instance {
+	return s.QueryFunc(name, from, to, func(in *event.Instance) bool { return in.Loc == loc })
+}
+
+// sortIfDirty re-sorts an index that received out-of-order inserts. The
+// caller holds the read lock; the upgrade re-checks under the write lock.
+func (s *Store) sortIfDirty(idx *nameIndex) {
+	if !idx.dirty {
+		return
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	idx.ensureSorted()
+	s.mu.Unlock()
+	s.mu.RLock()
+}
+
+// All returns every instance of the named event ordered by start time.
+func (s *Store) All(name string) []*event.Instance {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx := s.byName[name]
+	if idx == nil {
+		return nil
+	}
+	s.sortIfDirty(idx)
+	return append([]*event.Instance(nil), idx.instances...)
+}
+
+// Span returns the earliest start and latest end across the whole store;
+// ok is false for an empty store.
+func (s *Store) Span() (first, last time.Time, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, in := range s.byID {
+		if !ok {
+			first, last, ok = in.Start, in.End, true
+			continue
+		}
+		if in.Start.Before(first) {
+			first = in.Start
+		}
+		if in.End.After(last) {
+			last = in.End
+		}
+	}
+	return first, last, ok
+}

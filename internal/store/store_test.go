@@ -1,0 +1,218 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"grca/internal/event"
+	"grca/internal/locus"
+)
+
+var t0 = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func mk(name string, startMin, durMin int, loc locus.Location) event.Instance {
+	st := t0.Add(time.Duration(startMin) * time.Minute)
+	return event.Instance{Name: name, Start: st, End: st.Add(time.Duration(durMin) * time.Minute), Loc: loc}
+}
+
+func TestAddAssignsIDs(t *testing.T) {
+	s := New()
+	a := s.Add(mk("e", 0, 1, locus.At(locus.Router, "r1")))
+	b := s.Add(mk("e", 5, 1, locus.At(locus.Router, "r2")))
+	if a.ID == b.ID {
+		t.Error("IDs not unique")
+	}
+	got, ok := s.Get(b.ID)
+	if !ok || got.Loc.A != "r2" {
+		t.Error("Get by ID failed")
+	}
+	if _, ok := s.Get(-1); ok {
+		t.Error("negative ID accepted")
+	}
+	if _, ok := s.Get(999); ok {
+		t.Error("out-of-range ID accepted")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestQueryOverlapSemantics(t *testing.T) {
+	s := New()
+	loc := locus.At(locus.Router, "r1")
+	s.Add(mk("e", 0, 10, loc))  // [0,10]
+	s.Add(mk("e", 20, 10, loc)) // [20,30]
+	s.Add(mk("e", 50, 0, loc))  // instantaneous at 50
+
+	q := func(fromMin, toMin int) int {
+		return len(s.Query("e", t0.Add(time.Duration(fromMin)*time.Minute), t0.Add(time.Duration(toMin)*time.Minute)))
+	}
+	if got := q(5, 25); got != 2 {
+		t.Errorf("overlap query = %d, want 2", got)
+	}
+	if got := q(10, 10); got != 1 { // touches first interval's end
+		t.Errorf("point-at-end query = %d, want 1", got)
+	}
+	if got := q(11, 19); got != 0 {
+		t.Errorf("gap query = %d, want 0", got)
+	}
+	if got := q(50, 50); got != 1 {
+		t.Errorf("instantaneous query = %d, want 1", got)
+	}
+	if got := q(40, 30); got != 0 { // inverted window
+		t.Errorf("inverted window query = %d, want 0", got)
+	}
+	if got := len(s.Query("other", t0, t0.Add(time.Hour))); got != 0 {
+		t.Errorf("unknown name query = %d", got)
+	}
+}
+
+func TestQueryOrderedAndOutOfOrderInsert(t *testing.T) {
+	s := New()
+	loc := locus.At(locus.Router, "r1")
+	// Insert deliberately out of order.
+	for _, m := range []int{30, 10, 20, 0, 40} {
+		s.Add(mk("e", m, 1, loc))
+	}
+	got := s.Query("e", t0, t0.Add(time.Hour))
+	if len(got) != 5 {
+		t.Fatalf("got %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Start.After(got[i].Start) {
+			t.Fatal("results not sorted by start time")
+		}
+	}
+}
+
+func TestQueryAtAndFunc(t *testing.T) {
+	s := New()
+	l1 := locus.Between(locus.Interface, "r1", "if0")
+	l2 := locus.Between(locus.Interface, "r2", "if0")
+	s.Add(mk("e", 0, 1, l1))
+	s.Add(mk("e", 0, 1, l2))
+	if got := s.QueryAt("e", t0, t0.Add(time.Hour), l1); len(got) != 1 || got[0].Loc != l1 {
+		t.Errorf("QueryAt = %v", got)
+	}
+	got := s.QueryFunc("e", t0, t0.Add(time.Hour), func(in *event.Instance) bool {
+		return in.Loc.A == "r2"
+	})
+	if len(got) != 1 || got[0].Loc != l2 {
+		t.Errorf("QueryFunc = %v", got)
+	}
+}
+
+func TestLongDurationNotMissed(t *testing.T) {
+	// A very long instance starting far before the window must still be
+	// found (this exercises the maxDur lower bound).
+	s := New()
+	loc := locus.At(locus.Router, "r1")
+	s.Add(mk("e", 0, 600, loc)) // 10-hour event
+	for m := 1; m < 100; m++ {
+		s.Add(mk("e", m*10, 1, loc))
+	}
+	got := s.Query("e", t0.Add(9*time.Hour), t0.Add(9*time.Hour+time.Minute))
+	found := false
+	for _, in := range got {
+		if in.Start.Equal(t0) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("long-duration instance missed by windowed query")
+	}
+}
+
+func TestNamesCountSpan(t *testing.T) {
+	s := New()
+	if _, _, ok := s.Span(); ok {
+		t.Error("empty store has a span")
+	}
+	s.Add(mk("b", 10, 5, locus.At(locus.Router, "r")))
+	s.Add(mk("a", 0, 1, locus.At(locus.Router, "r")))
+	if n := s.Names(); len(n) != 2 || n[0] != "a" || n[1] != "b" {
+		t.Errorf("Names = %v", n)
+	}
+	if s.Count("b") != 1 || s.Count("zzz") != 0 {
+		t.Error("Count wrong")
+	}
+	first, last, ok := s.Span()
+	if !ok || !first.Equal(t0) || !last.Equal(t0.Add(15*time.Minute)) {
+		t.Errorf("Span = %v %v %v", first, last, ok)
+	}
+}
+
+func TestAllReturnsCopy(t *testing.T) {
+	s := New()
+	s.Add(mk("e", 5, 1, locus.At(locus.Router, "r")))
+	s.Add(mk("e", 0, 1, locus.At(locus.Router, "r")))
+	all := s.All("e")
+	if len(all) != 2 || all[0].Start.After(all[1].Start) {
+		t.Fatalf("All = %v", all)
+	}
+	all[0] = nil // must not corrupt the index
+	if got := s.All("e"); got[0] == nil {
+		t.Error("All shares backing slice")
+	}
+	if s.All("none") != nil {
+		t.Error("All for unknown name should be nil")
+	}
+}
+
+// TestQueryMatchesLinearScan is a property test: the indexed query returns
+// exactly the instances a straightforward linear scan does.
+func TestQueryMatchesLinearScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New()
+		type iv struct{ st, en time.Time }
+		var naive []iv
+		for i := 0; i < 200; i++ {
+			st := rng.Intn(10000)
+			dur := rng.Intn(100)
+			in := mk("e", 0, 0, locus.At(locus.Router, "r"))
+			in.Start = t0.Add(time.Duration(st) * time.Second)
+			in.End = in.Start.Add(time.Duration(dur) * time.Second)
+			s.Add(in)
+			naive = append(naive, iv{in.Start, in.End})
+		}
+		for trial := 0; trial < 20; trial++ {
+			from := t0.Add(time.Duration(rng.Intn(10000)) * time.Second)
+			to := from.Add(time.Duration(rng.Intn(500)) * time.Second)
+			want := 0
+			for _, v := range naive {
+				if !v.st.After(to) && !v.en.Before(from) {
+					want++
+				}
+			}
+			if got := len(s.Query("e", from, to)); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			s.Add(mk("e", i, 1, locus.At(locus.Router, "r")))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		s.Query("e", t0, t0.Add(time.Hour))
+		s.Count("e")
+	}
+	<-done
+	if s.Count("e") != 500 {
+		t.Errorf("Count after concurrent writes = %d", s.Count("e"))
+	}
+}

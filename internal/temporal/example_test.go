@@ -1,0 +1,27 @@
+package temporal_test
+
+import (
+	"fmt"
+	"time"
+
+	"grca/internal/temporal"
+)
+
+// The paper's worked example (§II-C): an eBGP flap spanning [1000, 2000]
+// seconds with a Start/Start 180/5 expansion joins an interface flap
+// spanning [900, 901] with a Start/End 5/5 expansion.
+func ExampleRule_Joined() {
+	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	at := func(sec int) time.Time { return t0.Add(time.Duration(sec) * time.Second) }
+
+	rule := temporal.Rule{
+		Symptom:    temporal.Expansion{Option: temporal.StartStart, Left: 180 * time.Second, Right: 5 * time.Second},
+		Diagnostic: temporal.Expansion{Option: temporal.StartEnd, Left: 5 * time.Second, Right: 5 * time.Second},
+	}
+	lo, hi := rule.Symptom.Window(at(1000), at(2000))
+	fmt.Printf("symptom window: [%d, %d]\n", int(lo.Sub(t0).Seconds()), int(hi.Sub(t0).Seconds()))
+	fmt.Println("joined:", rule.Joined(at(1000), at(2000), at(900), at(901)))
+	// Output:
+	// symptom window: [820, 1005]
+	// joined: true
+}

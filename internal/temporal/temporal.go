@@ -1,0 +1,120 @@
+// Package temporal implements G-RCA's temporal joining rules (paper
+// §II-C, Fig. 3). A symptom and a diagnostic event are "at the same time"
+// when their expanded time windows overlap; each side's expansion is
+// governed by three parameters — an expanding option and left/right margins
+// X and Y — for six parameters per rule.
+//
+// The expanding option selects the anchor endpoints of the window before
+// margins are applied:
+//
+//	Start/End:   [start−X, end+Y]  (the default: pad the whole interval)
+//	Start/Start: [start−X, start+Y] (anchor both edges at the start)
+//	End/End:     [end−X, end+Y]     (anchor both edges at the end)
+//
+// Margins may be negative, shifting an edge the other way. The paper's
+// worked example: an eBGP flap with (Start/Start, X=180s, Y=5s) spanning
+// [1000, 2000] expands to [820, 1005] — X models the 180-second BGP hold
+// timer between cause and effect, Y the ±5 s timestamp fuzz of syslog.
+package temporal
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Option is the window-expanding option of Fig. 3.
+type Option uint8
+
+const (
+	// StartEnd expands [start−X, end+Y].
+	StartEnd Option = iota
+	// StartStart expands [start−X, start+Y].
+	StartStart
+	// EndEnd expands [end−X, end+Y].
+	EndEnd
+)
+
+var optionNames = [...]string{"start/end", "start/start", "end/end"}
+
+// String returns the option's rule-language spelling.
+func (o Option) String() string {
+	if int(o) < len(optionNames) {
+		return optionNames[o]
+	}
+	return fmt.Sprintf("temporal.Option(%d)", uint8(o))
+}
+
+// ParseOption parses the rule-language spelling of an option.
+func ParseOption(s string) (Option, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "start/end":
+		return StartEnd, nil
+	case "start/start":
+		return StartStart, nil
+	case "end/end":
+		return EndEnd, nil
+	}
+	return 0, fmt.Errorf("temporal: unknown expanding option %q", s)
+}
+
+// Expansion is one side of a temporal rule: the expanding option plus the
+// left and right margins.
+type Expansion struct {
+	Option Option
+	Left   time.Duration // X: subtracted from the left anchor
+	Right  time.Duration // Y: added to the right anchor
+}
+
+// Window returns the expanded interval for an event spanning [start, end].
+func (e Expansion) Window(start, end time.Time) (time.Time, time.Time) {
+	switch e.Option {
+	case StartStart:
+		return start.Add(-e.Left), start.Add(e.Right)
+	case EndEnd:
+		return end.Add(-e.Left), end.Add(e.Right)
+	default: // StartEnd
+		return start.Add(-e.Left), end.Add(e.Right)
+	}
+}
+
+// String renders the expansion in rule-language form, e.g.
+// "start/start expand 180s 5s".
+func (e Expansion) String() string {
+	return fmt.Sprintf("%s expand %s %s", e.Option, e.Left, e.Right)
+}
+
+// Rule is a complete six-parameter temporal joining rule.
+type Rule struct {
+	Symptom    Expansion
+	Diagnostic Expansion
+}
+
+// Joined reports whether a symptom spanning [ss, se] and a diagnostic
+// spanning [ds, de] are temporally joined under the rule: their expanded
+// windows overlap (touching endpoints count as overlap, matching the
+// paper's closed intervals).
+func (r Rule) Joined(ss, se, ds, de time.Time) bool {
+	sLo, sHi := r.Symptom.Window(ss, se)
+	dLo, dHi := r.Diagnostic.Window(ds, de)
+	return !sLo.After(dHi) && !dLo.After(sHi)
+}
+
+// SearchWindow returns an interval [lo, hi] such that any diagnostic event
+// that temporally joins a symptom spanning [ss, se] must itself overlap
+// [lo, hi]. Callers query the event store with this window and then apply
+// Joined per candidate; the window is tight for all three expanding
+// options.
+//
+// Derivation: the diagnostic's expanded window must intersect the
+// symptom's expanded window [sLo, sHi]. For every expanding option the
+// left expansion anchor is at or before the event start and the right
+// anchor at or after... more precisely, for each option the joinable raw
+// span satisfies End ≥ sLo − Right and Start ≤ sHi + Left, which is
+// exactly the overlap condition with [sLo − Right, sHi + Left].
+func (r Rule) SearchWindow(ss, se time.Time) (time.Time, time.Time) {
+	sLo, sHi := r.Symptom.Window(ss, se)
+	lo := sLo.Add(-r.Diagnostic.Right)
+	hi := sHi.Add(r.Diagnostic.Left)
+	return lo, hi
+}

@@ -1,0 +1,182 @@
+package temporal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(sec int) time.Time { return epoch.Add(time.Duration(sec) * time.Second) }
+
+// TestPaperTemporalExample reproduces the worked example of §II-C: an
+// "eBGP flap" symptom (Start/Start, X=180, Y=5) spanning [1000, 2000]
+// expands to [820, 1005]; an "Interface flap" diagnostic (Start/End, X=5,
+// Y=5) spanning [900, 901] expands to [895, 906]; the two are joined.
+func TestPaperTemporalExample(t *testing.T) {
+	r := Rule{
+		Symptom:    Expansion{Option: StartStart, Left: 180 * time.Second, Right: 5 * time.Second},
+		Diagnostic: Expansion{Option: StartEnd, Left: 5 * time.Second, Right: 5 * time.Second},
+	}
+	sLo, sHi := r.Symptom.Window(at(1000), at(2000))
+	if !sLo.Equal(at(820)) || !sHi.Equal(at(1005)) {
+		t.Errorf("symptom window = [%v, %v], want [820, 1005]", sLo.Sub(epoch).Seconds(), sHi.Sub(epoch).Seconds())
+	}
+	dLo, dHi := r.Diagnostic.Window(at(900), at(901))
+	if !dLo.Equal(at(895)) || !dHi.Equal(at(906)) {
+		t.Errorf("diagnostic window = [%v, %v], want [895, 906]", dLo.Sub(epoch).Seconds(), dHi.Sub(epoch).Seconds())
+	}
+	if !r.Joined(at(1000), at(2000), at(900), at(901)) {
+		t.Error("paper example not joined")
+	}
+	// An interface flap well before the hold-timer horizon does not join.
+	if r.Joined(at(1000), at(2000), at(700), at(701)) {
+		t.Error("too-early diagnostic joined")
+	}
+	// One just after the symptom start + fuzz does not join either.
+	if r.Joined(at(1000), at(2000), at(1011), at(1012)) {
+		t.Error("too-late diagnostic joined")
+	}
+}
+
+func TestExpansionOptions(t *testing.T) {
+	start, end := at(100), at(200)
+	x, y := 10*time.Second, 20*time.Second
+	cases := []struct {
+		opt    Option
+		lo, hi int
+	}{
+		{StartEnd, 90, 220},
+		{StartStart, 90, 120},
+		{EndEnd, 190, 220},
+	}
+	for _, c := range cases {
+		lo, hi := (Expansion{Option: c.opt, Left: x, Right: y}).Window(start, end)
+		if !lo.Equal(at(c.lo)) || !hi.Equal(at(c.hi)) {
+			t.Errorf("%v window = [%d, %d], want [%d, %d]", c.opt,
+				int(lo.Sub(epoch).Seconds()), int(hi.Sub(epoch).Seconds()), c.lo, c.hi)
+		}
+	}
+}
+
+func TestNegativeMargins(t *testing.T) {
+	// A negative left margin shifts the window start forward.
+	e := Expansion{Option: StartEnd, Left: -5 * time.Second, Right: -5 * time.Second}
+	lo, hi := e.Window(at(100), at(200))
+	if !lo.Equal(at(105)) || !hi.Equal(at(195)) {
+		t.Errorf("negative margins window = [%v, %v]", lo, hi)
+	}
+}
+
+func TestTouchingWindowsJoin(t *testing.T) {
+	r := Rule{} // zero rule: windows equal raw spans
+	if !r.Joined(at(0), at(10), at(10), at(20)) {
+		t.Error("touching intervals should join (closed intervals)")
+	}
+	if r.Joined(at(0), at(10), at(11), at(20)) {
+		t.Error("disjoint intervals joined")
+	}
+	if !r.Joined(at(5), at(5), at(5), at(5)) {
+		t.Error("coincident instants should join")
+	}
+}
+
+func TestOptionParseRoundTrip(t *testing.T) {
+	for _, o := range []Option{StartEnd, StartStart, EndEnd} {
+		got, err := ParseOption(o.String())
+		if err != nil || got != o {
+			t.Errorf("round trip %v: got %v, %v", o, got, err)
+		}
+	}
+	if _, err := ParseOption("middle/middle"); err == nil {
+		t.Error("ParseOption accepted junk")
+	}
+	if got, err := ParseOption(" START/END "); err != nil || got != StartEnd {
+		t.Error("ParseOption should be case/space tolerant")
+	}
+	if Option(9).String() == "" {
+		t.Error("out-of-range option String empty")
+	}
+}
+
+func TestExpansionString(t *testing.T) {
+	e := Expansion{Option: StartStart, Left: 180 * time.Second, Right: 5 * time.Second}
+	if got := e.String(); got != "start/start expand 3m0s 5s" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// TestJoinSymmetryOfOverlap checks that joining is symmetric in the
+// overlap test itself: swapping which interval is "symptom" while also
+// swapping the expansions preserves the verdict.
+func TestJoinSymmetryOfOverlap(t *testing.T) {
+	f := func(ss, se, ds, de uint16, opt1, opt2 uint8) bool {
+		e1 := Expansion{Option: Option(opt1 % 3), Left: 7 * time.Second, Right: 3 * time.Second}
+		e2 := Expansion{Option: Option(opt2 % 3), Left: 2 * time.Second, Right: 9 * time.Second}
+		s0, s1 := at(int(ss)), at(int(ss)+int(se%1000))
+		d0, d1 := at(int(ds)), at(int(ds)+int(de%1000))
+		fwd := Rule{Symptom: e1, Diagnostic: e2}.Joined(s0, s1, d0, d1)
+		rev := Rule{Symptom: e2, Diagnostic: e1}.Joined(d0, d1, s0, s1)
+		return fwd == rev
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestJoinMonotonicMargins: widening any margin can only turn non-joined
+// pairs into joined ones, never the reverse.
+func TestJoinMonotonicMargins(t *testing.T) {
+	f := func(ss, ds uint16, dur1, dur2 uint8, grow uint8) bool {
+		base := Rule{
+			Symptom:    Expansion{Option: StartEnd, Left: 5 * time.Second, Right: 5 * time.Second},
+			Diagnostic: Expansion{Option: StartEnd, Left: 5 * time.Second, Right: 5 * time.Second},
+		}
+		wide := base
+		wide.Symptom.Left += time.Duration(grow) * time.Second
+		wide.Diagnostic.Right += time.Duration(grow) * time.Second
+		s0, s1 := at(int(ss)), at(int(ss)+int(dur1))
+		d0, d1 := at(int(ds)), at(int(ds)+int(dur2))
+		if base.Joined(s0, s1, d0, d1) && !wide.Joined(s0, s1, d0, d1) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSearchWindowSound: every diagnostic interval that joins also overlaps
+// the SearchWindow bound, for all option combinations and random spans.
+func TestSearchWindowSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 5000; trial++ {
+		r := Rule{
+			Symptom: Expansion{
+				Option: Option(rng.Intn(3)),
+				Left:   time.Duration(rng.Intn(300)) * time.Second,
+				Right:  time.Duration(rng.Intn(300)) * time.Second,
+			},
+			Diagnostic: Expansion{
+				Option: Option(rng.Intn(3)),
+				Left:   time.Duration(rng.Intn(300)) * time.Second,
+				Right:  time.Duration(rng.Intn(300)) * time.Second,
+			},
+		}
+		ss := at(rng.Intn(5000))
+		se := ss.Add(time.Duration(rng.Intn(600)) * time.Second)
+		ds := at(rng.Intn(5000))
+		de := ds.Add(time.Duration(rng.Intn(600)) * time.Second)
+		if !r.Joined(ss, se, ds, de) {
+			continue
+		}
+		lo, hi := r.SearchWindow(ss, se)
+		if ds.After(hi) || de.Before(lo) {
+			t.Fatalf("joined diagnostic [%v,%v] outside search window [%v,%v] for rule %+v",
+				ds, de, lo, hi, r)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Package testnet builds a small hand-crafted ISP network used by tests
+// and examples across the repository. It is deliberately tiny (three PoPs,
+// six core routers, three provider-edge routers) but exercises every
+// relationship the spatial model knows about: intra- and inter-PoP links,
+// ECMP, layer-1 diversity (SONET access circuits, optical-mesh backbone
+// circuits), customer attachments, a CDN node, and peering egresses.
+//
+// Layout (all inter-PoP weights 10, intra-PoP 5, PER uplinks 5):
+//
+//	nyc-cr1 ──── chi-cr1 ──── wdc-cr1
+//	   │    ╲  ╱    │    ╲  ╱    │
+//	   │     ╳      │     ╳      │        (cross links nyc1–chi2 etc. absent;
+//	nyc-cr2 ──── chi-cr2 ──── wdc-cr2      the ╳ marks only the drawing crossing)
+//	   │            │            │
+//	nyc-per1     chi-per1     wdc-per1
+//	   │            │
+//	 custA-nyc   custA-chi, custB
+//
+// nyc-per1 also hosts the CDN node "cdn-nyc" (server "cdn-nyc-s1"); the
+// client prefix 198.51.100.0/24 is reachable via peering egresses at
+// chi-per1 and wdc-per1 with equal BGP attributes, so hot-potato routing
+// decides.
+package testnet
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"grca/internal/bgp"
+	"grca/internal/netmodel"
+	"grca/internal/netstate"
+	"grca/internal/ospf"
+)
+
+// T0 is the reference start of time for the fixture: all announcements and
+// initial weights are in effect at T0.
+var T0 = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Net bundles the fixture's substrates.
+type Net struct {
+	Topo *netmodel.Topology
+	OSPF *ospf.Sim
+	BGP  *bgp.Sim
+	View *netstate.View
+}
+
+// ClientPrefix is the externally announced prefix containing the CDN
+// measurement agent.
+var ClientPrefix = netip.MustParsePrefix("198.51.100.0/24")
+
+// AgentAddr is the CDN measurement agent's address.
+var AgentAddr = netip.MustParseAddr("198.51.100.10")
+
+type builder struct {
+	topo    *netmodel.Topology
+	nextSub int
+	fail    func(format string, args ...any)
+}
+
+func (b *builder) router(name, pop string, role netmodel.Role, tz string) *netmodel.Router {
+	n := len(b.topo.Routers) + 1
+	r := &netmodel.Router{
+		Name: name, PoP: pop, Role: role, TZName: tz,
+		Loopback: netip.AddrFrom4([4]byte{10, 255, byte(n >> 8), byte(n)}),
+	}
+	if err := b.topo.AddRouter(r); err != nil {
+		b.fail("testnet: %v", err)
+	}
+	b.topo.AddCard(r)
+	b.topo.AddCard(r)
+	return r
+}
+
+// link wires routers x and y on the given card slots and returns the link.
+func (b *builder) link(id, x string, xSlot int, y string, ySlot int) *netmodel.LogicalLink {
+	rx, ry := b.topo.Routers[x], b.topo.Routers[y]
+	if rx == nil || ry == nil {
+		b.fail("testnet: link %s references unknown router", id)
+	}
+	base := netip.AddrFrom4([4]byte{10, 0, byte(b.nextSub >> 6), byte(b.nextSub << 2)})
+	b.nextSub++
+	pfx := netip.PrefixFrom(base, 30)
+	i1, err := b.topo.AddInterface(rx.Cards[xSlot], "to-"+y, pfx, base.Next())
+	if err != nil {
+		b.fail("testnet: %v", err)
+	}
+	i2, err := b.topo.AddInterface(ry.Cards[ySlot], "to-"+x, pfx, base.Next().Next())
+	if err != nil {
+		b.fail("testnet: %v", err)
+	}
+	l, err := b.topo.Connect(id, i1, i2)
+	if err != nil {
+		b.fail("testnet: %v", err)
+	}
+	return l
+}
+
+// Build constructs the fixture. fail is called on any internal
+// inconsistency (tests pass t.Fatalf).
+func Build(fail func(format string, args ...any)) *Net {
+	b := &builder{topo: netmodel.NewTopology(), fail: fail}
+
+	pops := []string{"nyc", "chi", "wdc"}
+	tzs := map[string]string{"nyc": "America/New_York", "chi": "America/Chicago", "wdc": "America/New_York"}
+	for _, p := range pops {
+		b.router(p+"-cr1", p, netmodel.RoleCore, tzs[p])
+		b.router(p+"-cr2", p, netmodel.RoleCore, tzs[p])
+		b.router(p+"-per1", p, netmodel.RoleProviderEdge, tzs[p])
+	}
+	b.router("custA-nyc", "ext", netmodel.RoleCustomer, "UTC")
+	b.router("custA-chi", "ext", netmodel.RoleCustomer, "UTC")
+	b.router("custB", "ext", netmodel.RoleCustomer, "UTC")
+
+	weights := map[string]int{}
+	backbone := func(id, x, y string, w int) *netmodel.LogicalLink {
+		l := b.link(id, x, 0, y, 0)
+		weights[id] = w
+		b.topo.AddPhysical(id+"-c1", l, netmodel.L1OpticalMesh, "mesh-"+x, "mesh-"+y)
+		return l
+	}
+	// Intra-PoP core pairs.
+	for _, p := range pops {
+		backbone(p+"-core", p+"-cr1", p+"-cr2", 5)
+	}
+	// Inter-PoP parallel planes.
+	backbone("nyc-chi-1", "nyc-cr1", "chi-cr1", 10)
+	backbone("nyc-chi-2", "nyc-cr2", "chi-cr2", 10)
+	backbone("chi-wdc-1", "chi-cr1", "wdc-cr1", 10)
+	backbone("chi-wdc-2", "chi-cr2", "wdc-cr2", 10)
+	backbone("nyc-wdc-1", "nyc-cr1", "wdc-cr1", 25)
+	backbone("nyc-wdc-2", "nyc-cr2", "wdc-cr2", 25)
+
+	// PER uplinks (dual-homed to both cores, card 1 on the PER side).
+	for _, p := range pops {
+		for i, cr := range []string{p + "-cr1", p + "-cr2"} {
+			id := fmt.Sprintf("%s-up%d", p, i+1)
+			l := b.link(id, p+"-per1", 1, cr, 1)
+			weights[id] = 5
+			b.topo.AddPhysical(id+"-c1", l, netmodel.L1OpticalMesh, "mesh-"+p+"-agg")
+			for _, ifc := range []*netmodel.Interface{l.A, l.B} {
+				if ifc.Router.Role == netmodel.RoleProviderEdge {
+					ifc.Uplink = true
+				}
+			}
+		}
+	}
+
+	// Customer attachments over SONET access rings (card 0 on the PER).
+	attach := func(id, per, cust string) *netmodel.LogicalLink {
+		l := b.link(id, per, 0, cust, 0)
+		weights[id] = 100
+		b.topo.AddPhysical(id+"-c1", l, netmodel.L1SONET, "sonet-"+per+"-a", "sonet-"+per+"-b")
+		for _, ifc := range []*netmodel.Interface{l.A, l.B} {
+			if ifc.Router.Role == netmodel.RoleProviderEdge {
+				other := l.Other(ifc.Router.Name)
+				ifc.CustomerFacing = true
+				ifc.Peer = other.Router.Name
+				ifc.PeerIP = other.IP
+			}
+		}
+		return l
+	}
+	attach("custA-nyc-att", "nyc-per1", "custA-nyc")
+	attach("custA-chi-att", "chi-per1", "custA-chi")
+	attach("custB-att", "chi-per1", "custB")
+
+	osim := ospf.New(b.topo, weights)
+	bsim := bgp.New(osim)
+
+	// Peering egresses for the client prefix: equal attributes at chi-per1
+	// and wdc-per1; hot potato from nyc picks chi (distance 20 vs 35).
+	mustAnnounce := func(r bgp.Route) {
+		if err := bsim.Announce(T0, r); err != nil {
+			fail("testnet: %v", err)
+		}
+	}
+	mustAnnounce(bgp.Route{Prefix: ClientPrefix, Egress: "chi-per1", LocalPref: 100, ASPathLen: 3})
+	mustAnnounce(bgp.Route{Prefix: ClientPrefix, Egress: "wdc-per1", LocalPref: 100, ASPathLen: 3})
+	// A broad covering route via wdc only.
+	mustAnnounce(bgp.Route{Prefix: netip.MustParsePrefix("198.51.0.0/16"), Egress: "wdc-per1", LocalPref: 100, ASPathLen: 4})
+
+	view := netstate.NewView(b.topo, osim, bsim)
+	view.RegisterServer("cdn-nyc-s1", "cdn-nyc", "nyc-per1")
+	view.RegisterClient("agent-1", AgentAddr, "")
+
+	return &Net{Topo: b.topo, OSPF: osim, BGP: bsim, View: view}
+}
