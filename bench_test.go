@@ -25,6 +25,7 @@ import (
 	"grca/internal/engine"
 	"grca/internal/event"
 	"grca/internal/netstate"
+	"grca/internal/obs"
 	"grca/internal/platform"
 	"grca/internal/simnet"
 	"grca/internal/store"
@@ -368,10 +369,15 @@ func BenchmarkFig8_BayesLineCard(b *testing.B) {
 // benchLatency measures single-event diagnosis latency over a corpus'
 // symptoms, round-robin.
 func benchLatency(b *testing.B, c *corpus, newEngine func(*store.Store, *netstate.View) (*engine.Engine, error)) {
+	benchLatencyTracing(b, c, newEngine, false)
+}
+
+func benchLatencyTracing(b *testing.B, c *corpus, newEngine func(*store.Store, *netstate.View) (*engine.Engine, error), tracing bool) {
 	eng, err := newEngine(c.sys.Store, c.sys.View)
 	if err != nil {
 		b.Fatal(err)
 	}
+	eng.Tracing = tracing
 	symptoms := c.sys.Store.All(eng.Graph.Root)
 	if len(symptoms) == 0 {
 		b.Fatal("no symptoms")
@@ -385,6 +391,23 @@ func benchLatency(b *testing.B, c *corpus, newEngine func(*store.Store, *netstat
 // BenchmarkDiagnosisLatencyBGP measures per-event BGP flap diagnosis
 // (paper: < 5 s/event against operational databases).
 func BenchmarkDiagnosisLatencyBGP(b *testing.B) { benchLatency(b, bgpCorpus(b), bgpflap.NewEngine) }
+
+// BenchmarkDiagnosisLatencyBGPObsOff is BenchmarkDiagnosisLatencyBGP with
+// the metrics registry gated off (obs.SetEnabled(false)); the pair bounds
+// the always-on instrumentation overhead, budgeted at ≤5%
+// (BENCH_BASELINE.json records the measured delta).
+func BenchmarkDiagnosisLatencyBGPObsOff(b *testing.B) {
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+	benchLatency(b, bgpCorpus(b), bgpflap.NewEngine)
+}
+
+// BenchmarkDiagnosisLatencyBGPTraced measures the same path with
+// per-diagnosis span recording on — the cost of leaving `run -trace`
+// enabled in a deployment.
+func BenchmarkDiagnosisLatencyBGPTraced(b *testing.B) {
+	benchLatencyTracing(b, bgpCorpus(b), bgpflap.NewEngine, true)
+}
 
 // BenchmarkDiagnosisLatencyCDN measures per-event CDN diagnosis (paper:
 // < 3 min/event, dominated by interdomain and intradomain route

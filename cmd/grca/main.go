@@ -6,8 +6,9 @@
 // Usage:
 //
 //	grca run bgpflap -data /tmp/corpus [-score] [-trend 24h] [-show 3]
-//	grca run cdn     -data /tmp/corpus
+//	grca run cdn     -data /tmp/corpus [-trace] [-slowest 3] [-metrics-addr :6060]
 //	grca run pim     -data /tmp/corpus
+//	grca stats bgpflap -data /tmp/corpus # pipeline metrics after a batch + streaming pass
 //	grca events
 //	grca rules
 //	grca bayes -data /tmp/corpus        # §IV-C group inference
@@ -25,11 +26,14 @@ import (
 	"grca/internal/apps/cdn"
 	"grca/internal/apps/pim"
 	"grca/internal/browser"
+	"grca/internal/collector"
 	"grca/internal/dgraph"
 	"grca/internal/engine"
 	"grca/internal/event"
 	"grca/internal/netstate"
+	"grca/internal/obs"
 	"grca/internal/platform"
+	"grca/internal/realtime"
 	"grca/internal/store"
 )
 
@@ -42,6 +46,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		err = runApp(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
 	case "events":
 		err = listEvents()
 	case "rules":
@@ -66,7 +72,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  grca run <bgpflap|cdn|pim|backbone> -data DIR [-score] [-trend DUR] [-show N]
+  grca run <bgpflap|cdn|pim|backbone> -data DIR [-score] [-trend DUR] [-show N] [-trace] [-slowest N] [-metrics-addr ADDR]
+  grca stats <bgpflap|cdn|pim|backbone> -data DIR  # pipeline metrics after a batch + streaming pass
   grca events
   grca rules
   grca bayes -data DIR
@@ -102,11 +109,22 @@ func runApp(args []string) error {
 	score := fs.Bool("score", false, "score diagnoses against ground truth when available")
 	trend := fs.Duration("trend", 0, "print a symptom trend with the given bin width")
 	show := fs.Int("show", 0, "print the first N full diagnoses (evidence chains)")
+	trace := fs.Bool("trace", false, "record per-stage diagnosis traces and print the slowest ones")
+	slowest := fs.Int("slowest", 3, "with -trace, how many of the slowest diagnoses to print")
+	metricsAddr := fs.String("metrics-addr", "", "serve expvar/pprof on this address (e.g. :6060) while running")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
 	if *data == "" {
 		return fmt.Errorf("run: -data is required")
+	}
+	if *metricsAddr != "" {
+		bound, shutdown, err := obs.ServeDebug(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "metrics: expvar at http://%s/debug/vars, pprof at http://%s/debug/pprof/\n", bound, bound)
 	}
 
 	bundle, err := platform.Load(*data)
@@ -117,13 +135,12 @@ func runApp(args []string) error {
 	if err != nil {
 		return err
 	}
-	if sys.Collector.Malformed.Count > 0 {
-		fmt.Fprintf(os.Stderr, "warning: %d malformed raw lines skipped\n", sys.Collector.Malformed.Count)
-	}
+	warnDrops(sys.Collector)
 	eng, err := a.engine(sys.Store, sys.View)
 	if err != nil {
 		return err
 	}
+	eng.Tracing = *trace
 	began := time.Now()
 	ds := eng.DiagnoseAll()
 	elapsed := time.Since(began)
@@ -149,7 +166,47 @@ func runApp(args []string) error {
 	for i := 0; i < *show && i < len(ds); i++ {
 		printDiagnosis(ds[i])
 	}
+	if *trace {
+		printSlowest(ds, *slowest)
+	}
 	return nil
+}
+
+// warnDrops surfaces the collector's per-source parse failures: a nonzero
+// drop rate means the diagnosis below ran on an incomplete evidence base.
+func warnDrops(c *collector.Collector) {
+	sum := c.Summary()
+	if sum.Totals.Malformed == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "warning: %d/%d raw lines malformed and skipped (%.2f%% drop rate)\n",
+		sum.Totals.Malformed, sum.Totals.Lines, 100*sum.Totals.DropRate())
+	for _, s := range sum.Sources {
+		if s.Malformed > 0 {
+			fmt.Fprintf(os.Stderr, "  %-10s %d/%d lines dropped (%.2f%%)\n",
+				s.Source, s.Malformed, s.Lines, 100*s.DropRate())
+		}
+	}
+}
+
+// printSlowest renders the per-stage traces of the n slowest diagnoses —
+// where the paper's per-event latency budget (§III) actually went.
+func printSlowest(ds []engine.Diagnosis, n int) {
+	slow := append([]engine.Diagnosis(nil), ds...)
+	sort.SliceStable(slow, func(i, j int) bool { return slow[i].Elapsed > slow[j].Elapsed })
+	if n > len(slow) {
+		n = len(slow)
+	}
+	if n <= 0 {
+		return
+	}
+	fmt.Printf("\nSlowest %d diagnoses (per-stage traces):\n", n)
+	for _, d := range slow[:n] {
+		fmt.Println()
+		if err := d.Trace.Write(os.Stdout); err != nil {
+			fmt.Printf("  (trace unavailable: %v)\n", err)
+		}
+	}
 }
 
 func printTrend(st *store.Store, name string, from, to time.Time, bin time.Duration) {
@@ -183,6 +240,76 @@ func printDiagnosis(d engine.Diagnosis) {
 	for _, w := range d.Warnings {
 		fmt.Printf("  warning: %s\n", w)
 	}
+}
+
+// runStats exercises the full pipeline over a bundle — batch diagnosis
+// plus a streaming replay of the same corpus — and prints the resulting
+// metrics registry, giving the operator the numbers behind the paper's
+// §III latency claims without attaching a debugger.
+func runStats(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("stats: application name required")
+	}
+	a, ok := apps[args[0]]
+	if !ok {
+		return fmt.Errorf("stats: unknown application %q", args[0])
+	}
+	build := appBuilders[args[0]]
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	data := fs.String("data", "", "dataset bundle directory (required)")
+	stream := fs.Bool("stream", true, "also replay the corpus through the streaming processor")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *data == "" {
+		return fmt.Errorf("stats: -data is required")
+	}
+	bundle, err := platform.Load(*data)
+	if err != nil {
+		return err
+	}
+	sys, err := bundle.Assemble(platform.Options{})
+	if err != nil {
+		return err
+	}
+	warnDrops(sys.Collector)
+	eng, err := a.engine(sys.Store, sys.View)
+	if err != nil {
+		return err
+	}
+	began := time.Now()
+	ds := eng.DiagnoseAll()
+	batch := time.Since(began)
+
+	streamed := 0
+	if *stream {
+		// Replay the corpus in availability order so the realtime.* gauges
+		// and grace-wait histogram reflect this dataset too.
+		_, g, err := build()
+		if err != nil {
+			return err
+		}
+		proc := realtime.New(sys.View, g, realtime.GraceFor(g, 15*time.Minute))
+		var ins []*event.Instance
+		for _, name := range sys.Store.Names() {
+			ins = append(ins, sys.Store.All(name)...)
+		}
+		sort.SliceStable(ins, func(i, j int) bool { return ins[i].End.Before(ins[j].End) })
+		for _, in := range ins {
+			if _, err := proc.Observe(*in); err == nil {
+				streamed++
+			}
+		}
+		proc.Flush()
+	}
+
+	fmt.Printf("%s: %d events in store, %d symptoms diagnosed in %v batch",
+		args[0], sys.Store.Len(), len(ds), batch.Round(time.Millisecond))
+	if *stream {
+		fmt.Printf("; %d events replayed through the streaming processor", streamed)
+	}
+	fmt.Print("\n\n")
+	return obs.WriteText(os.Stdout, obs.Default().Snapshot())
 }
 
 func listEvents() error {
@@ -334,6 +461,7 @@ func runReport(args []string) error {
 		Display:  a.display,
 		TrendBin: *trendBin,
 		View:     sys.View,
+		Metrics:  obs.Default(),
 	})
 }
 

@@ -66,6 +66,50 @@ func TestRunBGPFlapCommand(t *testing.T) {
 	}
 }
 
+func TestRunTraceFlag(t *testing.T) {
+	dir := writeBundle(t, simnet.Config{
+		Seed: 61, PoPs: 2, PERsPerPoP: 1, SessionsPerPER: 6,
+		Duration: 2 * 24 * time.Hour, BGPFlapIncidents: 40,
+	})
+	out := capture(t, func() error {
+		return runApp([]string{"bgpflap", "-data", dir, "-trace", "-slowest", "2"})
+	})
+	for _, want := range []string{"Slowest 2 diagnoses", "diagnose ", "rule ", "reason"} {
+		if !containsStr(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsCommand(t *testing.T) {
+	dir := writeBundle(t, simnet.Config{
+		Seed: 61, PoPs: 2, PERsPerPoP: 1, SessionsPerPER: 6,
+		Duration: 2 * 24 * time.Hour, BGPFlapIncidents: 40,
+	})
+	out := capture(t, func() error {
+		return runStats([]string{"bgpflap", "-data", dir})
+	})
+	for _, want := range []string{
+		"symptoms diagnosed",
+		"streaming processor",
+		"collector.parsed",
+		"store.queries",
+		"engine.diagnose.seconds",
+		"realtime.diagnosed",
+		"p95",
+	} {
+		if !containsStr(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	if err := runStats(nil); err == nil {
+		t.Error("stats without app accepted")
+	}
+	if err := runStats([]string{"bgpflap"}); err == nil {
+		t.Error("stats without -data accepted")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	if err := runApp(nil); err == nil {
 		t.Error("missing app accepted")

@@ -9,6 +9,7 @@ import (
 	"grca/internal/engine"
 	"grca/internal/locus"
 	"grca/internal/netstate"
+	"grca/internal/obs"
 	"grca/internal/store"
 	"grca/internal/temporal"
 )
@@ -28,6 +29,9 @@ type ReportOptions struct {
 	DrillLevel locus.Type
 	// DrillWindow is the temporal window for drill-downs (default 5m).
 	DrillWindow time.Duration
+	// Metrics, when set, appends a pipeline-health section with the
+	// registry's counters and latency percentiles (typically obs.Default()).
+	Metrics *obs.Registry
 }
 
 // WriteReport renders a complete SQM report for a diagnosed symptom
@@ -135,6 +139,14 @@ func WriteReport(w io.Writer, st *store.Store, ds []engine.Diagnosis, opts Repor
 				}
 				fmt.Fprintf(w, "    saw %s\n", in)
 			}
+		}
+	}
+
+	// Pipeline health: what the platform did to produce the report above.
+	if opts.Metrics != nil {
+		fmt.Fprintf(w, "\nPipeline health\n%s\n", repeat('-', len("Pipeline health")))
+		if err := obs.WriteText(w, opts.Metrics.Snapshot()); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -24,7 +24,23 @@ import (
 	"grca/internal/event"
 	"grca/internal/locus"
 	"grca/internal/netstate"
+	"grca/internal/obs"
 	"grca/internal/store"
+)
+
+// Engine metrics (see internal/obs): the diagnosis-latency histogram is
+// the repo's measurement of the paper's §III per-event latency claims
+// (<5 s/event for BGP and PIM, <3 min/event for CDN); the expand-cache
+// counters show how much of the spatial work is memoized per diagnosis.
+var (
+	mDiagnoses       = obs.GetCounter("engine.diagnoses")
+	mDiagnoseLatency = obs.GetHistogram("engine.diagnose.seconds", obs.LatencyBuckets)
+	mRulesEvaluated  = obs.GetCounter("engine.rules.evaluated")
+	mEvidenceNodes   = obs.GetCounter("engine.evidence.nodes")
+	mWarnings        = obs.GetCounter("engine.warnings")
+	mUnknowns        = obs.GetCounter("engine.unknown")
+	mExpandHits      = obs.GetCounter("engine.expand.cache.hits")
+	mExpandMisses    = obs.GetCounter("engine.expand.cache.misses")
 )
 
 // Unknown is the root-cause label for symptoms with no joined evidence.
@@ -40,6 +56,12 @@ type Engine struct {
 	// MaxDepth bounds evidence-chain recursion as a backstop against
 	// pathological graphs; the default (8) exceeds any graph in the paper.
 	MaxDepth int
+
+	// Tracing attaches an obs.Trace to every Diagnosis: one span per rule
+	// evaluation carrying its store-query and spatial-join timings,
+	// nested along the evidence chain. Off by default; the aggregate
+	// latency histograms are recorded either way.
+	Tracing bool
 }
 
 // New returns an engine over the given substrates.
@@ -94,6 +116,9 @@ type Diagnosis struct {
 	// Elapsed is the wall-clock diagnosis time, the paper's per-event
 	// latency metric.
 	Elapsed time.Duration
+	// Trace is the staged timeline of this diagnosis (per-rule store
+	// query and spatial join timings); nil unless Engine.Tracing is on.
+	Trace *obs.Trace
 }
 
 // Label returns the root-cause label: the joint cause events joined by
@@ -126,6 +151,9 @@ type expandCache struct {
 	view *netstate.View
 	m    map[string][]locus.Location
 	err  map[string]error
+	// hits/misses accumulate locally (the cache lives for one diagnosis
+	// on one goroutine) and flush to the obs counters once per diagnosis.
+	hits, misses int64
 }
 
 func newExpandCache(v *netstate.View) *expandCache {
@@ -135,37 +163,68 @@ func newExpandCache(v *netstate.View) *expandCache {
 func (c *expandCache) expand(loc locus.Location, level locus.Type, t time.Time) ([]locus.Location, error) {
 	key := loc.Key() + "\x00" + level.String() + "\x00" + t.Format(time.RFC3339Nano)
 	if locs, ok := c.m[key]; ok {
+		c.hits++
 		return locs, c.err[key]
 	}
+	c.misses++
 	locs, err := c.view.Expand(loc, level, t)
 	c.m[key] = locs
 	c.err[key] = err
 	return locs, err
 }
 
+func (c *expandCache) flush() {
+	mExpandHits.Add(c.hits)
+	mExpandMisses.Add(c.misses)
+}
+
 // Diagnose correlates and reasons about one symptom instance.
 func (e *Engine) Diagnose(sym *event.Instance) Diagnosis {
 	began := time.Now()
 	d := Diagnosis{Symptom: sym}
+	var tr *obs.Trace
+	if e.Tracing {
+		tr = obs.StartTrace("diagnose " + sym.Name + " @ " + sym.Loc.String())
+		d.Trace = tr
+	}
 	cache := newExpandCache(e.View)
 	root := &Node{Event: sym.Name, Instance: sym}
 	visited := map[string]bool{sym.Name: true}
-	e.correlate(root, visited, 0, cache, &d)
+	e.correlate(root, visited, 0, cache, &d, tr)
 	d.Root = root
+	rs := tr.StartSpan("reason")
 	d.Causes = e.reason(root)
+	rs.End()
 	d.Elapsed = time.Since(began)
+	tr.Finish()
+	cache.flush()
+	mDiagnoses.Inc()
+	mDiagnoseLatency.ObserveDuration(d.Elapsed)
+	if len(d.Causes) == 0 {
+		mUnknowns.Inc()
+	}
+	if len(d.Warnings) > 0 {
+		mWarnings.Add(int64(len(d.Warnings)))
+	}
 	return d
 }
 
 // correlate populates n.Children with joined diagnostic instances,
-// recursively.
-func (e *Engine) correlate(n *Node, visited map[string]bool, depth int, cache *expandCache, d *Diagnosis) {
+// recursively. With tracing on, each rule evaluation opens a span (so
+// deeper evidence nests under the rule that admitted it) annotated with
+// its expand, store-query, and spatial-join timings.
+func (e *Engine) correlate(n *Node, visited map[string]bool, depth int, cache *expandCache, d *Diagnosis, tr *obs.Trace) {
 	if depth >= e.MaxDepth {
 		return
 	}
 	for _, rule := range e.Graph.RulesFor(n.Event) {
 		if visited[rule.Diagnostic] {
 			continue
+		}
+		mRulesEvaluated.Inc()
+		var sp *obs.Span
+		if tr != nil {
+			sp = tr.StartSpan("rule " + rule.Key())
 		}
 		in := n.Instance
 		// The network condition is reconstructed at the symptom time —
@@ -181,6 +240,10 @@ func (e *Engine) correlate(n *Node, visited map[string]bool, depth int, cache *e
 		if !lo.Equal(at) {
 			times = append(times, lo)
 		}
+		var stamp time.Time
+		if sp != nil {
+			stamp = time.Now()
+		}
 		symSet := map[locus.Location]bool{}
 		expanded := false
 		for _, when := range times {
@@ -193,43 +256,74 @@ func (e *Engine) correlate(n *Node, visited map[string]bool, depth int, cache *e
 				symSet[l] = true
 			}
 		}
+		if sp != nil {
+			sp.AnnotateDuration("expand", time.Since(stamp))
+		}
 		if !expanded {
 			d.Warnings = append(d.Warnings,
 				fmt.Sprintf("rule %q: symptom location %s unexpandable at %v", rule.Key(), in.Loc, at))
+			sp.Annotate("outcome", "unexpandable")
+			sp.End()
 			continue
 		}
 		if len(symSet) == 0 {
+			sp.Annotate("outcome", "no-footprint")
+			sp.End()
 			continue
 		}
-		for _, cand := range e.Store.Query(rule.Diagnostic, lo, hi) {
+		if sp != nil {
+			stamp = time.Now()
+		}
+		cands := e.Store.Query(rule.Diagnostic, lo, hi)
+		if sp != nil {
+			sp.AnnotateDuration("query", time.Since(stamp))
+			sp.AnnotateInt("candidates", len(cands))
+		}
+		joined := 0
+		var joinDur time.Duration
+		for _, cand := range cands {
 			if cand == in {
 				continue
 			}
-			if !rule.Temporal.Joined(in.Start, in.End, cand.Start, cand.End) {
-				continue
+			if sp != nil {
+				stamp = time.Now()
 			}
-			candLocs, err := cache.expand(cand.Loc, rule.JoinLevel, at)
-			if err != nil {
-				d.Warnings = append(d.Warnings,
-					fmt.Sprintf("rule %q: diagnostic location %s: %v", rule.Key(), cand.Loc, err))
-				continue
-			}
-			joined := false
-			for _, l := range candLocs {
-				if symSet[l] {
-					joined = true
-					break
+			ok := rule.Temporal.Joined(in.Start, in.End, cand.Start, cand.End)
+			if ok {
+				candLocs, err := cache.expand(cand.Loc, rule.JoinLevel, at)
+				if err != nil {
+					d.Warnings = append(d.Warnings,
+						fmt.Sprintf("rule %q: diagnostic location %s: %v", rule.Key(), cand.Loc, err))
+					ok = false
+				} else {
+					ok = false
+					for _, l := range candLocs {
+						if symSet[l] {
+							ok = true
+							break
+						}
+					}
 				}
 			}
-			if !joined {
+			if sp != nil {
+				joinDur += time.Since(stamp)
+			}
+			if !ok {
 				continue
 			}
+			joined++
+			mEvidenceNodes.Inc()
 			child := &Node{Event: rule.Diagnostic, Instance: cand, Rule: rule}
 			n.Children = append(n.Children, child)
 			visited[rule.Diagnostic] = true
-			e.correlate(child, visited, depth+1, cache, d)
+			e.correlate(child, visited, depth+1, cache, d, tr)
 			delete(visited, rule.Diagnostic)
 		}
+		if sp != nil {
+			sp.AnnotateDuration("join", joinDur)
+			sp.AnnotateInt("joined", joined)
+		}
+		sp.End()
 	}
 }
 

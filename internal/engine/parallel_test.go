@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"grca/internal/event"
@@ -32,6 +34,61 @@ func TestParallelMatchesSerial(t *testing.T) {
 			if par[i].Label() != serial[i].Label() {
 				t.Errorf("workers=%d: diagnosis %d = %q, want %q",
 					workers, i, par[i].Label(), serial[i].Label())
+			}
+		}
+	}
+}
+
+// causeSig canonicalizes everything a diagnosis concluded — each cause's
+// event, priority, evidence chain, and the exact instance IDs backing it,
+// plus any warnings — so determinism checks catch divergence the
+// Label-only comparison above would miss.
+func causeSig(d Diagnosis) string {
+	var b strings.Builder
+	for _, c := range d.Causes {
+		fmt.Fprintf(&b, "%s p%d chain=%s ids=", c.Event, c.Priority, strings.Join(c.Chain, "<-"))
+		for _, in := range c.Instances {
+			fmt.Fprintf(&b, "%d,", in.ID)
+		}
+		b.WriteString("; ")
+	}
+	if len(d.Warnings) > 0 {
+		fmt.Fprintf(&b, "warnings=%v", d.Warnings)
+	}
+	return b.String()
+}
+
+// TestParallelDeterminism: on the testnet fixture, parallel diagnosis must
+// reproduce the serial run exactly — same symptom order and, per symptom,
+// the same causes down to evidence instance IDs — at several worker
+// counts. This pins the engine's determinism contract now that workers
+// share the instrumented store and expansion caches.
+func TestParallelDeterminism(t *testing.T) {
+	f := newFixture(t)
+	f.add(event.InterfaceFlap, 900, 1, f.ifLoc)
+	f.add(event.CPUHighSpike, 2980, 30, locus.At(locus.Router, "chi-per1"))
+	f.add(event.CustomerResetSession, 5000, 1, f.adjLoc)
+	f.add(event.SONETRestoration, 8998, 2, locus.At(locus.Layer1Device, "sonet-chi-per1-a"))
+	f.add(event.InterfaceFlap, 9000, 1, f.ifLoc)
+	for i := 0; i < 60; i++ {
+		f.symptom(800 + i*300)
+	}
+	serial := f.eng.DiagnoseAll()
+	want := make([]string, len(serial))
+	for i, d := range serial {
+		want[i] = causeSig(d)
+	}
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		par := f.eng.DiagnoseAllParallel(workers)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d diagnoses, want %d", workers, len(par), len(serial))
+		}
+		for i := range par {
+			if par[i].Symptom.ID != serial[i].Symptom.ID {
+				t.Fatalf("workers=%d: symptom order diverged at %d", workers, i)
+			}
+			if got := causeSig(par[i]); got != want[i] {
+				t.Errorf("workers=%d diagnosis %d:\n got %s\nwant %s", workers, i, got, want[i])
 			}
 		}
 	}

@@ -18,7 +18,19 @@ import (
 	"grca/internal/bgp"
 	"grca/internal/locus"
 	"grca/internal/netmodel"
+	"grca/internal/obs"
 	"grca/internal/ospf"
+)
+
+// Conversion-utility metrics: Expand drives the spatial joins that
+// dominate CDN diagnosis latency (§III-B.2), so its call volume and
+// fan-out are the first read on a slow diagnosis.
+var (
+	mExpands      = obs.GetCounter("netstate.expands")
+	mExpandErrors = obs.GetCounter("netstate.expand.errors")
+	mExpandFanout = obs.GetHistogram("netstate.expand.locations", obs.SizeBuckets)
+	mRelated      = obs.GetCounter("netstate.related")
+	mEgressFor    = obs.GetCounter("netstate.egressfor")
 )
 
 // View is the queryable network condition. It is immutable after the
@@ -82,6 +94,7 @@ func (v *View) ClientAddr(name string) (netip.Addr, bool) {
 // EgressFor emulates the BGP decision process from ingress toward the
 // named client at time t and returns the egress router.
 func (v *View) EgressFor(ingress, client string, t time.Time) (string, error) {
+	mEgressFor.Inc()
 	addr, ok := v.clientAddr[client]
 	if !ok {
 		if a, err := netip.ParseAddr(client); err == nil {
@@ -103,6 +116,17 @@ func (v *View) EgressFor(ingress, client string, t time.Time) (string, error) {
 // Unsupported conversions return an error so misconfigured rules surface
 // loudly instead of silently never joining.
 func (v *View) Expand(loc locus.Location, level locus.Type, t time.Time) ([]locus.Location, error) {
+	locs, err := v.expand(loc, level, t)
+	mExpands.Inc()
+	if err != nil {
+		mExpandErrors.Inc()
+	} else {
+		mExpandFanout.Observe(float64(len(locs)))
+	}
+	return locs, err
+}
+
+func (v *View) expand(loc locus.Location, level locus.Type, t time.Time) ([]locus.Location, error) {
 	if loc.Type == level && level != locus.IngressDestination {
 		// Identity — except Ingress:Destination, whose destination element
 		// must be normalized to the matched BGP prefix so that locations
@@ -161,6 +185,7 @@ func (v *View) Expand(loc locus.Location, level locus.Type, t time.Time) ([]locu
 // Related reports whether two locations are spatially related at join
 // level `level` at time t: their expansions intersect.
 func (v *View) Related(a, b locus.Location, level locus.Type, t time.Time) (bool, error) {
+	mRelated.Inc()
 	ea, err := v.Expand(a, level, t)
 	if err != nil {
 		return false, err

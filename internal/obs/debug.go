@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts the opt-in debug HTTP server on addr (e.g.
+// "localhost:6060" or "127.0.0.1:0" for an ephemeral port) and returns
+// the bound address. It serves:
+//
+//	/debug/vars   — expvar JSON, including the "grca" metrics snapshot
+//	/debug/pprof/ — the standard net/http/pprof profile index
+//
+// The handlers are mounted on a private mux rather than
+// http.DefaultServeMux, so importing this package never exposes profiling
+// endpoints unless ServeDebug is called. The server runs until the
+// process exits; the returned shutdown function closes it early (tests).
+func ServeDebug(addr string) (boundAddr string, shutdown func(), err error) {
+	Publish()
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // closed via shutdown or process exit
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeDebug(t *testing.T) {
+	GetCounter("test.debug.counter").Add(7)
+	addr, shutdown, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	vars := get("/debug/vars")
+	var payload struct {
+		GRCA Snapshot `json:"grca"`
+	}
+	if err := json.Unmarshal([]byte(vars), &payload); err != nil {
+		t.Fatalf("expvar payload not JSON: %v", err)
+	}
+	if payload.GRCA.Counters["test.debug.counter"] != 7 {
+		t.Errorf("grca expvar missing counter: %v", payload.GRCA.Counters)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("pprof index unexpected:\n%.200s", idx)
+	}
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// A Trace records the staged timeline of one operation — in G-RCA, one
+// diagnosis: which rules were evaluated, how long each store query and
+// spatial join took, how the evidence recursion nested. Spans nest via a
+// stack owned by the trace, so a single goroutine drives one trace (the
+// engine's per-symptom invariant).
+//
+// A nil *Trace is a valid no-op recorder: every method on a nil trace or
+// nil span does nothing and performs no clock reads, so instrumented code
+// calls StartSpan/End unconditionally and pays nothing when tracing is
+// off.
+type Trace struct {
+	root  *Span
+	stack []*Span
+}
+
+// A Span is one named stage with a start time, a duration (set by End),
+// ordered key=value attributes, and nested children.
+type Span struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+	Attrs    []Attr
+	Children []*Span
+
+	t *Trace
+}
+
+// Attr is one span annotation.
+type Attr struct {
+	Key, Value string
+}
+
+// StartTrace opens a trace whose root span has the given name.
+func StartTrace(name string) *Trace {
+	t := &Trace{}
+	root := &Span{Name: name, Start: time.Now(), t: t}
+	t.root = root
+	t.stack = []*Span{root}
+	return t
+}
+
+// Root returns the root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// StartSpan opens a child of the innermost open span. Close it with End.
+func (t *Trace) StartSpan(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{Name: name, Start: time.Now(), t: t}
+	top := t.stack[len(t.stack)-1]
+	top.Children = append(top.Children, sp)
+	t.stack = append(t.stack, sp)
+	return sp
+}
+
+// Finish closes the root span (and any spans left open beneath it).
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	for len(t.stack) > 0 {
+		t.stack[len(t.stack)-1].End()
+	}
+}
+
+// End closes the span, recording its duration. Children left open are
+// closed first; ending a span not on the stack (already closed) only
+// refreshes its duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.Duration = time.Since(s.Start)
+	t := s.t
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] != s {
+			continue
+		}
+		// Close any children left open above s.
+		for j := len(t.stack) - 1; j > i; j-- {
+			open := t.stack[j]
+			open.Duration = time.Since(open.Start)
+		}
+		t.stack = t.stack[:i]
+		return
+	}
+}
+
+// Annotate appends a key=value attribute.
+func (s *Span) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// AnnotateInt appends an integer attribute.
+func (s *Span) AnnotateInt(key string, value int) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: fmt.Sprint(value)})
+}
+
+// AnnotateDuration appends a rounded duration attribute.
+func (s *Span) AnnotateDuration(key string, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: roundDur(d).String()})
+}
+
+// Write renders the trace as an indented span tree:
+//
+//	diagnose eBGP flap                                 1.2ms
+//	  rule eBGP flap <- Interface flap                 455µs  query=12µs join=30µs candidates=3 joined=1
+//	    rule Interface flap <- SONET restoration       110µs  ...
+//	  reason                                           4µs
+func (t *Trace) Write(w io.Writer) error {
+	if t == nil || t.root == nil {
+		return nil
+	}
+	return writeSpan(w, t.root, 0)
+}
+
+func writeSpan(w io.Writer, s *Span, depth int) error {
+	line := fmt.Sprintf("%*s%s", depth*2, "", s.Name)
+	if _, err := fmt.Fprintf(w, "%-56s %9s", line, roundDur(s.Duration)); err != nil {
+		return err
+	}
+	for _, a := range s.Attrs {
+		if _, err := fmt.Fprintf(w, "  %s=%s", a.Key, a.Value); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for _, c := range s.Children {
+		if err := writeSpan(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func roundDur(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(100 * time.Nanosecond)
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSpanNesting pins the stack discipline: children attach to the
+// innermost open span, End pops exactly to the ended span.
+func TestSpanNesting(t *testing.T) {
+	tr := StartTrace("diagnose")
+	a := tr.StartSpan("rule A")
+	aq := tr.StartSpan("query")
+	aq.End()
+	ab := tr.StartSpan("rule B") // nested evidence chain under A
+	ab.End()
+	a.End()
+	c := tr.StartSpan("reason")
+	c.End()
+	tr.Finish()
+
+	root := tr.Root()
+	if root.Name != "diagnose" || len(root.Children) != 2 {
+		t.Fatalf("root children = %d, want 2 (%+v)", len(root.Children), root)
+	}
+	if root.Children[0] != a || root.Children[1] != c {
+		t.Fatal("top-level spans misattached")
+	}
+	if len(a.Children) != 2 || a.Children[0] != aq || a.Children[1] != ab {
+		t.Fatalf("rule A children wrong: %+v", a.Children)
+	}
+	if root.Duration <= 0 || a.Duration <= 0 || aq.Duration < 0 {
+		t.Error("durations not recorded")
+	}
+	if a.Duration > root.Duration {
+		t.Errorf("child outlived root: %v > %v", a.Duration, root.Duration)
+	}
+}
+
+// TestUnbalancedEnd: ending an outer span closes the children left open
+// rather than corrupting the stack.
+func TestUnbalancedEnd(t *testing.T) {
+	tr := StartTrace("op")
+	outer := tr.StartSpan("outer")
+	inner := tr.StartSpan("inner") // never explicitly ended
+	outer.End()
+	next := tr.StartSpan("next") // must attach to root, not inner
+	next.End()
+	tr.Finish()
+	if inner.Duration <= 0 {
+		t.Error("abandoned inner span has no duration")
+	}
+	root := tr.Root()
+	if len(root.Children) != 2 || root.Children[1] != next {
+		t.Fatalf("next span misattached: %+v", root.Children)
+	}
+}
+
+// TestNilTrace: the nil recorder is a total no-op — instrumented code
+// calls it unconditionally.
+func TestNilTrace(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan("x")
+	sp.End()
+	sp.Annotate("k", "v")
+	sp.AnnotateInt("n", 1)
+	sp.AnnotateDuration("d", time.Second)
+	tr.Finish()
+	if tr.Root() != nil {
+		t.Error("nil trace has a root")
+	}
+	if err := tr.Write(nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceWrite(t *testing.T) {
+	tr := StartTrace("diagnose eBGP flap")
+	sp := tr.StartSpan("rule eBGP flap <- Interface flap")
+	sp.AnnotateInt("candidates", 3)
+	sp.AnnotateDuration("query", 1500*time.Microsecond)
+	sp.End()
+	tr.Finish()
+	var b strings.Builder
+	if err := tr.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"diagnose eBGP flap", "  rule eBGP flap <- Interface flap", "candidates=3", "query=1.5ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -21,7 +21,23 @@ import (
 	"grca/internal/engine"
 	"grca/internal/event"
 	"grca/internal/netstate"
+	"grca/internal/obs"
 	"grca/internal/store"
+)
+
+// Streaming-pipeline metrics: queue depth is the backpressure signal a
+// real-time deployment watches, the grace-wait histogram shows how long
+// symptoms sit before their evidence horizon passes (in event time), and
+// rejects count the mis-ordered arrivals the paper's heterogeneous feeds
+// would produce without collector-side normalization.
+var (
+	mObserved     = obs.GetCounter("realtime.observed")
+	mRejected     = obs.GetCounter("realtime.rejected")
+	mDiagnosed    = obs.GetCounter("realtime.diagnosed")
+	mPending      = obs.GetGauge("realtime.pending")
+	mPendingPeak  = obs.GetGauge("realtime.pending.peak")
+	mGraceWait    = obs.GetHistogram("realtime.grace.wait.seconds",
+		[]float64{1, 5, 10, 30, 60, 120, 300, 600, 1800, 3600, 7200, 21600, 86400})
 )
 
 // Processor is a streaming RCA pipeline for one application graph.
@@ -57,15 +73,18 @@ func (p *Processor) Store() *store.Store { return p.st }
 func (p *Processor) Observe(in event.Instance) ([]engine.Diagnosis, error) {
 	avail := in.End
 	if avail.Before(p.now.Add(-p.Grace)) {
+		mRejected.Inc()
 		return nil, fmt.Errorf("realtime: instance %v available at %v arrived after clock %v (beyond grace)",
 			in.Name, avail, p.now)
 	}
+	mObserved.Inc()
 	stored := p.st.Add(in)
 	if avail.After(p.now) {
 		p.now = avail
 	}
 	if in.Name == p.eng.Graph.Root {
 		p.pending = append(p.pending, stored)
+		mPendingPeak.SetMax(int64(len(p.pending)))
 	}
 	return p.drain(false), nil
 }
@@ -82,12 +101,17 @@ func (p *Processor) drain(all bool) []engine.Diagnosis {
 	kept := p.pending[:0]
 	for _, sym := range p.pending {
 		if all || !sym.End.Add(p.Grace).After(p.now) {
+			// Grace wait in event time: how far the stream clock ran past
+			// the symptom's end before it could be safely diagnosed.
+			mGraceWait.ObserveDuration(p.now.Sub(sym.End))
+			mDiagnosed.Inc()
 			out = append(out, p.eng.Diagnose(sym))
 		} else {
 			kept = append(kept, sym)
 		}
 	}
 	p.pending = kept
+	mPending.Set(int64(len(p.pending)))
 	return out
 }
 

@@ -16,6 +16,20 @@ import (
 
 	"grca/internal/event"
 	"grca/internal/locus"
+	"grca/internal/obs"
+)
+
+// Pipeline-health metrics (see internal/obs): the engine's evidence
+// search is store-bound, so query volume, window width, and result sizes
+// are the first numbers to read when diagnosis latency drifts.
+var (
+	mAdds          = obs.GetCounter("store.adds")
+	mQueries       = obs.GetCounter("store.queries")
+	mQueryWindow   = obs.GetHistogram("store.query.window.seconds",
+		[]float64{1, 5, 10, 30, 60, 120, 300, 600, 1800, 3600, 7200, 21600, 86400})
+	mQueryResults  = obs.GetHistogram("store.query.results", obs.SizeBuckets)
+	mLazyResorts   = obs.GetCounter("store.lazy.resorts")
+	mQueryScanSkip = obs.GetCounter("store.query.scanned.nonoverlap")
 )
 
 type nameIndex struct {
@@ -50,6 +64,7 @@ func (s *Store) Add(in event.Instance) *event.Instance {
 }
 
 func (s *Store) addLocked(in event.Instance) *event.Instance {
+	mAdds.Inc()
 	in.ID = len(s.byID)
 	stored := &in
 	s.byID = append(s.byID, stored)
@@ -136,12 +151,14 @@ func (s *Store) Query(name string, from, to time.Time) []*event.Instance {
 // QueryFunc is Query with an optional location/content filter applied to
 // each candidate. A nil filter accepts everything.
 func (s *Store) QueryFunc(name string, from, to time.Time, keep func(*event.Instance) bool) []*event.Instance {
+	mQueries.Inc()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	idx := s.byName[name]
 	if idx == nil || to.Before(from) {
 		return nil
 	}
+	mQueryWindow.ObserveDuration(to.Sub(from))
 	s.sortIfDirty(idx)
 	ins := idx.instances
 	// First candidate: an overlapping instance has Start >= from-maxDur.
@@ -150,14 +167,20 @@ func (s *Store) QueryFunc(name string, from, to time.Time, keep func(*event.Inst
 	// Last candidate: Start <= to.
 	hi := sort.Search(len(ins), func(i int) bool { return ins[i].Start.After(to) })
 	var out []*event.Instance
+	skipped := int64(0)
 	for _, in := range ins[lo:hi] {
 		if in.End.Before(from) {
+			skipped++
 			continue
 		}
 		if keep == nil || keep(in) {
 			out = append(out, in)
 		}
 	}
+	if skipped > 0 {
+		mQueryScanSkip.Add(skipped)
+	}
+	mQueryResults.Observe(float64(len(out)))
 	return out
 }
 
@@ -174,6 +197,7 @@ func (s *Store) sortIfDirty(idx *nameIndex) {
 	if !idx.dirty {
 		return
 	}
+	mLazyResorts.Inc()
 	s.mu.RUnlock()
 	s.mu.Lock()
 	idx.ensureSorted()
