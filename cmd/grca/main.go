@@ -56,6 +56,8 @@ func main() {
 		err = runBayes(os.Args[2:])
 	case "check":
 		err = runCheck(os.Args[2:])
+	case "vet":
+		err = runVet(os.Args[2:])
 	case "graph":
 		err = runGraph(os.Args[2:])
 	case "report":
@@ -78,6 +80,7 @@ func usage() {
   grca rules
   grca bayes -data DIR
   grca check <bgpflap|cdn|pim|backbone> -data DIR
+  grca vet [spec.grca ...] [-json] [-validate -data DIR]  # static spec/graph validation; no args vets the built-ins
   grca graph <bgpflap|cdn|pim|backbone>            # Graphviz DOT of the diagnosis graph
   grca report <bgpflap|cdn|pim|backbone> -data DIR # full SQM report (breakdown, trend, drill-downs)`)
 }

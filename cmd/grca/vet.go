@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"grca/internal/browser"
+	"grca/internal/dgraph"
+	"grca/internal/event"
+	"grca/internal/grcavet"
+	"grca/internal/platform"
+	"grca/internal/rulespec"
+)
+
+// runVet statically validates rulespec files and the assembled diagnosis
+// graphs without running any diagnosis. With no file arguments it vets the
+// compiled-in application specs and the Table II rule catalogue — the
+// pre-release gate CI runs. With -validate and -data it additionally
+// chains every clean spec into the Correlation Tester (§II-E).
+//
+// Exit status: 0 when no error-level findings, 1 otherwise — warnings and
+// info findings are reported but do not fail the run.
+func runVet(args []string) error {
+	fs := flag.NewFlagSet("vet", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	strict := fs.Bool("strict", false, "treat warnings as errors (CI mode)")
+	validate := fs.Bool("validate", false, "also correlation-test each clean spec's rules (requires -data)")
+	data := fs.String("data", "", "dataset bundle directory for -validate")
+	retention := fs.Duration("retention", grcavet.DefaultRetention, "event store retention horizon for window checks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *validate && *data == "" {
+		return fmt.Errorf("vet: -validate requires -data")
+	}
+	opts := grcavet.Options{Retention: *retention}
+
+	type source struct {
+		file string
+		src  string
+	}
+	var sources []source
+	if fs.NArg() == 0 {
+		for _, b := range grcavet.Builtins() {
+			sources = append(sources, source{"builtin:" + b.Name, b.Src})
+		}
+	} else {
+		for _, path := range fs.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("vet: %v", err)
+			}
+			sources = append(sources, source{path, string(src)})
+		}
+	}
+
+	var findings []grcavet.Finding
+	clean := make([]source, 0, len(sources))
+	for _, s := range sources {
+		fs := grcavet.CheckSource(s.file, s.src, opts)
+		findings = append(findings, fs...)
+		if grcavet.ErrorCount(fs) == 0 {
+			clean = append(clean, s)
+		}
+	}
+	if fs.NArg() == 0 {
+		findings = append(findings, grcavet.CheckCatalogue(opts)...)
+	}
+
+	if *validate {
+		bundle, err := platform.Load(*data)
+		if err != nil {
+			return err
+		}
+		sys, err := bundle.Assemble(platform.Options{})
+		if err != nil {
+			return err
+		}
+		m := browser.Miner{Store: sys.Store}
+		for _, s := range clean {
+			findings = append(findings, chainValidate(s.file, s.src, m,
+				bundle.Start, bundle.Start.Add(bundle.Duration))...)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Printf("%d findings (%d errors) across %d specs\n",
+			len(findings), grcavet.ErrorCount(findings), len(sources))
+	}
+	if n := grcavet.ErrorCount(findings); n > 0 {
+		return fmt.Errorf("vet: %d error-level findings", n)
+	}
+	if *strict && grcavet.MaxSeverity(findings) >= grcavet.Warning {
+		return fmt.Errorf("vet: warnings present and -strict set")
+	}
+	return nil
+}
+
+// chainValidate runs a statically-clean spec's assembled graph through the
+// Correlation Tester, translating verdicts into vet findings with the
+// rule's source line where the spec declares it.
+func chainValidate(file, src string, m browser.Miner, from, to time.Time) []grcavet.Finding {
+	spec, err := rulespec.Parse(src)
+	if err != nil {
+		return nil // already reported by the static pass
+	}
+	_, g, err := spec.Build(event.Knowledge(), dgraph.Knowledge())
+	if err != nil {
+		return nil
+	}
+	lines := map[string]int{}
+	for _, r := range spec.Rules {
+		lines[r.Key()] = r.Line
+	}
+	for _, u := range spec.Uses {
+		lines[u.Symptom+" <- "+u.Diagnostic] = u.Line
+	}
+	var out []grcavet.Finding
+	for _, v := range m.ValidateGraph(g, from, to) {
+		f := grcavet.Finding{
+			File:    file,
+			Line:    lines[v.Rule.Key()],
+			Subject: v.Rule.Key(),
+		}
+		switch {
+		case errors.Is(v.Err, browser.ErrUntestable):
+			f.Check = grcavet.CheckUntestable
+			f.Severity = grcavet.Info
+			f.Message = fmt.Sprintf("rule %q could not be correlation-tested: %v", v.Rule.Key(), v.Err)
+		case v.Err != nil:
+			f.Check = grcavet.CheckUntestable
+			f.Severity = grcavet.Warning
+			f.Message = fmt.Sprintf("rule %q correlation test failed to run: %v", v.Rule.Key(), v.Err)
+		case !v.Result.Significant:
+			f.Check = grcavet.CheckUncorrelated
+			f.Severity = grcavet.Warning
+			f.Message = fmt.Sprintf("rule %q is not statistically correlated on this data (score %.2f)", v.Rule.Key(), v.Result.Score)
+		default:
+			continue
+		}
+		f.Level = f.Severity.String()
+		out = append(out, f)
+	}
+	return out
+}

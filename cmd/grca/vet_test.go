@@ -1,0 +1,35 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestRunVetBuiltinsClean pins the CI contract: vetting the compiled-in
+// specs and catalogue succeeds (info findings do not fail the run).
+func TestRunVetBuiltinsClean(t *testing.T) {
+	if err := runVet(nil); err != nil {
+		t.Errorf("vet over builtins failed: %v", err)
+	}
+}
+
+// TestRunVetBrokenSpecFails pins the other half: a spec with an
+// error-level defect makes runVet return an error, which main turns into
+// a non-zero exit.
+func TestRunVetBrokenSpecFails(t *testing.T) {
+	broken := filepath.Join("..", "..", "internal", "grcavet", "testdata", "graph-cycle.grca")
+	if err := runVet([]string{broken}); err == nil {
+		t.Error("vet accepted a spec with a causal cycle")
+	}
+}
+
+// TestRunVetExampleSpecs vets the on-disk copies of the specs.
+func TestRunVetExampleSpecs(t *testing.T) {
+	specs, err := filepath.Glob(filepath.Join("..", "..", "examples", "specs", "*.grca"))
+	if err != nil || len(specs) == 0 {
+		t.Fatalf("no example specs: %v", err)
+	}
+	if err := runVet(specs); err != nil {
+		t.Errorf("vet over example specs failed: %v", err)
+	}
+}

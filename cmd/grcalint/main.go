@@ -1,0 +1,70 @@
+// Command grcalint runs the project's custom analyzers (internal/lint)
+// over the module: the clock discipline (nakedtime, utctime), stdout
+// hygiene (noprint), and deterministic-output (mapiter) checks that
+// ordinary go vet cannot express. It is a multichecker in the
+// golang.org/x/tools/go/analysis mold, built on the standard library
+// alone.
+//
+// Usage:
+//
+//	grcalint [-list] [package ...]
+//
+// With no arguments every package in the module is checked. Package
+// arguments are import paths ("grca/internal/engine") or "./..." for the
+// whole module. Exit status is 1 when any diagnostic is reported, 2 on
+// load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"grca/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	dir := flag.String("C", ".", "module root directory")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	loader, err := lint.NewLoader(*dir)
+	if err != nil {
+		fail(err)
+	}
+	paths := flag.Args()
+	if len(paths) == 0 || (len(paths) == 1 && paths[0] == "./...") {
+		if paths, err = loader.Walk(); err != nil {
+			fail(err)
+		}
+	}
+
+	analyzers := lint.Analyzers()
+	found := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fail(err)
+		}
+		for _, d := range lint.RunAll(pkg.Pass(loader.Fset), analyzers) {
+			found++
+			fmt.Println(d)
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "grcalint: %d diagnostics\n", found)
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "grcalint: %v\n", err)
+	os.Exit(2)
+}

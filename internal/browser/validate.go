@@ -1,12 +1,19 @@
 package browser
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"grca/internal/dgraph"
 	"grca/internal/nice"
 )
+
+// ErrUntestable marks a rule the Correlation Tester could not assess on
+// the given window — one of the event series never occurs there. Callers
+// (grca vet -validate) distinguish it with errors.Is: untestable is not
+// the same as inaccurate, and on sparse data it is not even suspicious.
+var ErrUntestable = errors.New("browser: rule untestable on this window")
 
 // RuleVerdict is the Correlation Tester's assessment of one diagnosis
 // rule (paper §II-E: "the diagnosis rule is only considered to be accurate
@@ -36,8 +43,8 @@ func (m Miner) ValidateRule(r dgraph.Rule, from, to time.Time) RuleVerdict {
 	symIns := m.Store.Query(r.Symptom, from, to)
 	diagIns := m.Store.Query(r.Diagnostic, from, to)
 	if len(symIns) == 0 || len(diagIns) == 0 {
-		return RuleVerdict{Rule: r, Err: fmt.Errorf("browser: no instances of %q and/or %q in window",
-			r.Symptom, r.Diagnostic)}
+		return RuleVerdict{Rule: r, Err: fmt.Errorf("%w: no instances of %q and/or %q",
+			ErrUntestable, r.Symptom, r.Diagnostic)}
 	}
 	// Smoothing radius: the rule's widest temporal reach, in bins.
 	reach := r.Temporal.Symptom.Left

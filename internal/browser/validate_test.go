@@ -1,6 +1,7 @@
 package browser
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -90,17 +91,20 @@ func TestValidateRuleErrors(t *testing.T) {
 	r := dgraph.Rule{Symptom: "a", Diagnostic: "b", JoinLevel: locus.Router,
 		Temporal: temporal.Rule{}}
 	t0 := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
-	// Too-short window.
+	// Too-short window: an error, but a *testable* configuration problem,
+	// not ErrUntestable.
 	if v := m.ValidateRule(r, t0, t0.Add(2*time.Minute)); v.Err == nil {
 		t.Error("short window accepted")
+	} else if errors.Is(v.Err, ErrUntestable) {
+		t.Errorf("short window misclassified as untestable: %v", v.Err)
 	}
-	// No instances.
-	if v := m.ValidateRule(r, t0, t0.Add(24*time.Hour)); v.Err == nil {
-		t.Error("empty series accepted")
+	// No instances: the sentinel callers branch on.
+	if v := m.ValidateRule(r, t0, t0.Add(24*time.Hour)); !errors.Is(v.Err, ErrUntestable) {
+		t.Errorf("empty series: got %v, want ErrUntestable", v.Err)
 	}
-	// One side present only.
+	// One side present only is still untestable.
 	st.Add(event.Instance{Name: "a", Start: t0, End: t0, Loc: locus.At(locus.Router, "r")})
-	if v := m.ValidateRule(r, t0, t0.Add(24*time.Hour)); v.Err == nil {
-		t.Error("half-empty series accepted")
+	if v := m.ValidateRule(r, t0, t0.Add(24*time.Hour)); !errors.Is(v.Err, ErrUntestable) {
+		t.Errorf("half-empty series: got %v, want ErrUntestable", v.Err)
 	}
 }

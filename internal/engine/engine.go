@@ -180,7 +180,7 @@ func (c *expandCache) flush() {
 
 // Diagnose correlates and reasons about one symptom instance.
 func (e *Engine) Diagnose(sym *event.Instance) Diagnosis {
-	began := time.Now()
+	began := obs.Now()
 	d := Diagnosis{Symptom: sym}
 	var tr *obs.Trace
 	if e.Tracing {
@@ -195,7 +195,7 @@ func (e *Engine) Diagnose(sym *event.Instance) Diagnosis {
 	rs := tr.StartSpan("reason")
 	d.Causes = e.reason(root)
 	rs.End()
-	d.Elapsed = time.Since(began)
+	d.Elapsed = obs.Since(began)
 	tr.Finish()
 	cache.flush()
 	mDiagnoses.Inc()
@@ -242,7 +242,7 @@ func (e *Engine) correlate(n *Node, visited map[string]bool, depth int, cache *e
 		}
 		var stamp time.Time
 		if sp != nil {
-			stamp = time.Now()
+			stamp = obs.Now()
 		}
 		symSet := map[locus.Location]bool{}
 		expanded := false
@@ -257,7 +257,7 @@ func (e *Engine) correlate(n *Node, visited map[string]bool, depth int, cache *e
 			}
 		}
 		if sp != nil {
-			sp.AnnotateDuration("expand", time.Since(stamp))
+			sp.AnnotateDuration("expand", obs.Since(stamp))
 		}
 		if !expanded {
 			d.Warnings = append(d.Warnings,
@@ -272,11 +272,11 @@ func (e *Engine) correlate(n *Node, visited map[string]bool, depth int, cache *e
 			continue
 		}
 		if sp != nil {
-			stamp = time.Now()
+			stamp = obs.Now()
 		}
 		cands := e.Store.Query(rule.Diagnostic, lo, hi)
 		if sp != nil {
-			sp.AnnotateDuration("query", time.Since(stamp))
+			sp.AnnotateDuration("query", obs.Since(stamp))
 			sp.AnnotateInt("candidates", len(cands))
 		}
 		joined := 0
@@ -286,7 +286,7 @@ func (e *Engine) correlate(n *Node, visited map[string]bool, depth int, cache *e
 				continue
 			}
 			if sp != nil {
-				stamp = time.Now()
+				stamp = obs.Now()
 			}
 			ok := rule.Temporal.Joined(in.Start, in.End, cand.Start, cand.End)
 			if ok {
@@ -306,7 +306,7 @@ func (e *Engine) correlate(n *Node, visited map[string]bool, depth int, cache *e
 				}
 			}
 			if sp != nil {
-				joinDur += time.Since(stamp)
+				joinDur += obs.Since(stamp)
 			}
 			if !ok {
 				continue

@@ -1,0 +1,39 @@
+package grcavet
+
+import (
+	"grca/internal/apps/backbone"
+	"grca/internal/apps/bgpflap"
+	"grca/internal/apps/cdn"
+	"grca/internal/apps/pim"
+)
+
+// Builtin is one compiled-in application specification.
+type Builtin struct {
+	Name string
+	Src  string
+}
+
+// Builtins lists the applications shipped with the platform, in the order
+// the grca CLI exposes them.
+func Builtins() []Builtin {
+	return []Builtin{
+		{"bgpflap", bgpflap.Spec},
+		{"cdn", cdn.Spec},
+		{"cdnrtt", cdn.ThroughputSpec},
+		{"pim", pim.Spec},
+		{"backbone", backbone.Spec},
+	}
+}
+
+// CheckBuiltins vets every compiled-in application spec plus the shipped
+// rule catalogue — the pre-release gate run by `grca vet` with no
+// arguments and by CI. Findings are attributed to "builtin:<name>" and
+// "catalogue" pseudo-files.
+func CheckBuiltins(opts Options) []Finding {
+	var all []Finding
+	for _, b := range Builtins() {
+		all = append(all, CheckSource("builtin:"+b.Name, b.Src, opts)...)
+	}
+	all = append(all, CheckCatalogue(opts)...)
+	return all
+}

@@ -1,0 +1,92 @@
+package netstate_test
+
+import (
+	"strings"
+	"testing"
+
+	"grca/internal/locus"
+	"grca/internal/netstate"
+	"grca/internal/testnet"
+)
+
+func TestConvertibleToBasics(t *testing.T) {
+	cases := []struct {
+		from, to locus.Type
+		want     bool
+	}{
+		{locus.Router, locus.Interface, true},
+		{locus.Router, locus.PoP, true},
+		{locus.Interface, locus.Layer1Device, true},
+		{locus.Layer1Device, locus.Interface, false}, // layer-1 only expands to itself
+		{locus.PoP, locus.Router, false},
+		{locus.RouterNeighbor, locus.Interface, true},
+		{locus.IngressEgress, locus.Interface, true},
+		{locus.IngressEgress, locus.LineCard, false},
+		{locus.ServerClient, locus.Server, true},
+		{locus.ServerClient, locus.SourceIngress, false},
+		{locus.EgressDestination, locus.Interface, false},
+		{locus.None, locus.Router, false},
+		{locus.Router, locus.None, false},
+	}
+	for _, c := range cases {
+		if got := netstate.ConvertibleTo(c.from, c.to); got != c.want {
+			t.Errorf("ConvertibleTo(%v, %v) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+	for typ := locus.Type(1); typ.Valid(); typ++ {
+		if !netstate.ConvertibleTo(typ, typ) {
+			t.Errorf("ConvertibleTo(%v, %v) = false, want identity", typ, typ)
+		}
+	}
+}
+
+// TestConvertibleToMatchesExpand cross-checks the static lattice against
+// the dynamic implementation: over representative well-formed locations of
+// every type in the test network, Expand must never succeed where the
+// lattice says "infeasible", and must never report "no conversion" where
+// the lattice says "feasible". (Other dynamic errors — unknown elements,
+// unroutable spans — are state-dependent and carry no lattice information.)
+func TestConvertibleToMatchesExpand(t *testing.T) {
+	n := testnet.Build(t.Fatalf)
+	n.View.RegisterClient("src-1", testnet.AgentAddr, "chi-per1")
+
+	ifc, ok := n.Topo.InterfaceByName("chi-per1", "to-custB")
+	if !ok {
+		t.Fatal("fixture interface missing")
+	}
+	reps := map[locus.Type]locus.Location{
+		locus.Router:             locus.At(locus.Router, "chi-per1"),
+		locus.PoP:                locus.At(locus.PoP, "chi"),
+		locus.LogicalLink:        locus.At(locus.LogicalLink, "nyc-chi-1"),
+		locus.PhysicalLink:       locus.At(locus.PhysicalLink, "nyc-chi-1-c1"),
+		locus.Layer1Device:       locus.At(locus.Layer1Device, "mesh-nyc"),
+		locus.Server:             locus.At(locus.Server, "cdn-nyc-s1"),
+		locus.Interface:          locus.Between(locus.Interface, "chi-per1", "to-custB"),
+		locus.LineCard:           locus.Between(locus.LineCard, "chi-per1", "0"),
+		locus.RouterNeighbor:     locus.Between(locus.RouterNeighbor, "chi-per1", ifc.PeerIP.String()),
+		locus.IngressEgress:      locus.Between(locus.IngressEgress, "nyc-per1", "chi-per1"),
+		locus.IngressDestination: locus.Between(locus.IngressDestination, "nyc-per1", testnet.AgentAddr.String()),
+		locus.SourceDestination:  locus.Between(locus.SourceDestination, "src-1", testnet.AgentAddr.String()),
+		locus.SourceIngress:      locus.Between(locus.SourceIngress, "src-1", "chi-per1"),
+		locus.EgressDestination:  locus.Between(locus.EgressDestination, "chi-per1", testnet.AgentAddr.String()),
+		locus.ServerClient:       locus.Between(locus.ServerClient, "cdn-nyc-s1", "agent-1"),
+	}
+
+	for from := locus.Type(1); from.Valid(); from++ {
+		loc, ok := reps[from]
+		if !ok {
+			t.Errorf("no representative location for %v", from)
+			continue
+		}
+		for to := locus.Type(1); to.Valid(); to++ {
+			_, err := n.View.Expand(loc, to, testnet.T0)
+			feasible := netstate.ConvertibleTo(from, to)
+			switch {
+			case err == nil && !feasible:
+				t.Errorf("Expand(%v → %v) succeeded but lattice says infeasible", from, to)
+			case err != nil && strings.Contains(err.Error(), "no conversion") && feasible:
+				t.Errorf("Expand(%v → %v) says %q but lattice says feasible", from, to, err)
+			}
+		}
+	}
+}

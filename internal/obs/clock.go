@@ -1,0 +1,12 @@
+package obs
+
+import "time"
+
+// Now is the wall clock behind every latency measurement in the pipeline.
+// Code under internal/ reads time through Now/Since rather than calling
+// time.Now directly (enforced by grcalint's nakedtime analyzer) so tests
+// and corpus replays can substitute a deterministic clock process-wide.
+var Now = time.Now
+
+// Since reports the elapsed wall time since t on the pipeline clock.
+func Since(t time.Time) time.Duration { return Now().Sub(t) }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -86,8 +87,13 @@ func Save(dir string, b Bundle) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	for src, text := range b.Feeds {
-		if err := os.WriteFile(filepath.Join(dir, "feeds", src+".log"), []byte(text), 0o644); err != nil {
+	srcs := make([]string, 0, len(b.Feeds))
+	for src := range b.Feeds {
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
+	for _, src := range srcs {
+		if err := os.WriteFile(filepath.Join(dir, "feeds", src+".log"), []byte(b.Feeds[src]), 0o644); err != nil {
 			return err
 		}
 	}

@@ -31,12 +31,12 @@ import (
 // rejects count the mis-ordered arrivals the paper's heterogeneous feeds
 // would produce without collector-side normalization.
 var (
-	mObserved     = obs.GetCounter("realtime.observed")
-	mRejected     = obs.GetCounter("realtime.rejected")
-	mDiagnosed    = obs.GetCounter("realtime.diagnosed")
-	mPending      = obs.GetGauge("realtime.pending")
-	mPendingPeak  = obs.GetGauge("realtime.pending.peak")
-	mGraceWait    = obs.GetHistogram("realtime.grace.wait.seconds",
+	mObserved    = obs.GetCounter("realtime.observed")
+	mRejected    = obs.GetCounter("realtime.rejected")
+	mDiagnosed   = obs.GetCounter("realtime.diagnosed")
+	mPending     = obs.GetGauge("realtime.pending")
+	mPendingPeak = obs.GetGauge("realtime.pending.peak")
+	mGraceWait   = obs.GetHistogram("realtime.grace.wait.seconds",
 		[]float64{1, 5, 10, 30, 60, 120, 300, 600, 1800, 3600, 7200, 21600, 86400})
 )
 

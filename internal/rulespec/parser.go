@@ -20,17 +20,34 @@ type Use struct {
 	Line       int
 }
 
-// Spec is a parsed application specification.
+// Event is one event (or redefine) statement: the definition plus the
+// source line of its keyword, so downstream diagnostics (grca vet) can
+// point back into the spec text.
+type Event struct {
+	event.Definition
+	Line int
+}
+
+// Rule is one rule statement: the diagnosis rule plus its source line.
+type Rule struct {
+	dgraph.Rule
+	Line int
+}
+
+// Spec is a parsed application specification. Every statement carries the
+// source line it started on.
 type Spec struct {
 	// Name labels the application; Root names its symptom event.
 	Name string
 	Root string
+	// Line is the source line of the "app" header.
+	Line int
 	// Events are application-specific event definitions; Redefines shadow
 	// Knowledge Library entries.
-	Events    []event.Definition
-	Redefines []event.Definition
+	Events    []Event
+	Redefines []Event
 	// Rules are application-specific diagnosis rules.
-	Rules []dgraph.Rule
+	Rules []Rule
 	// Uses pull catalogue rules into the graph.
 	Uses []Use
 }
@@ -75,7 +92,7 @@ func (p *parser) keyword(word string) error {
 }
 
 func (p *parser) parseSpec() (*Spec, error) {
-	s := &Spec{}
+	s := &Spec{Line: p.tok.line}
 	if err := p.keyword("app"); err != nil {
 		return nil, err
 	}
@@ -105,6 +122,7 @@ func (p *parser) parseSpec() (*Spec, error) {
 			}
 			s.Events = append(s.Events, d)
 		case "redefine":
+			line := p.tok.line
 			if err := p.advance(); err != nil {
 				return nil, err
 			}
@@ -112,6 +130,7 @@ func (p *parser) parseSpec() (*Spec, error) {
 			if err != nil {
 				return nil, err
 			}
+			d.Line = line
 			s.Redefines = append(s.Redefines, d)
 		case "rule":
 			r, err := p.parseRule()
@@ -132,8 +151,9 @@ func (p *parser) parseSpec() (*Spec, error) {
 	return s, nil
 }
 
-func (p *parser) parseEvent() (event.Definition, error) {
-	var d event.Definition
+func (p *parser) parseEvent() (Event, error) {
+	var d Event
+	d.Line = p.tok.line
 	if err := p.keyword("event"); err != nil {
 		return d, err
 	}
@@ -183,13 +203,14 @@ func (p *parser) parseEvent() (event.Definition, error) {
 		return d, err
 	}
 	if err := d.Validate(); err != nil {
-		return d, err
+		return d, fmt.Errorf("line %d: %v", d.Line, err)
 	}
 	return d, nil
 }
 
-func (p *parser) parseRule() (dgraph.Rule, error) {
-	var r dgraph.Rule
+func (p *parser) parseRule() (Rule, error) {
+	var r Rule
+	r.Line = p.tok.line
 	if err := p.keyword("rule"); err != nil {
 		return r, err
 	}
@@ -263,7 +284,7 @@ func (p *parser) parseRule() (dgraph.Rule, error) {
 		return r, err
 	}
 	if err := r.Validate(nil); err != nil {
-		return r, err
+		return r, fmt.Errorf("line %d: %v", r.Line, err)
 	}
 	return r, nil
 }
@@ -339,16 +360,16 @@ func (p *parser) parseUse() (Use, error) {
 func (s *Spec) Build(base *event.Library, cat *dgraph.Catalogue) (*event.Library, *dgraph.Graph, error) {
 	lib := base.Clone()
 	for _, d := range s.Events {
-		if err := lib.Define(d); err != nil {
-			return nil, nil, fmt.Errorf("rulespec %q: %v", s.Name, err)
+		if err := lib.Define(d.Definition); err != nil {
+			return nil, nil, fmt.Errorf("rulespec %q line %d: %v", s.Name, d.Line, err)
 		}
 	}
 	for _, d := range s.Redefines {
 		if _, ok := lib.Get(d.Name); !ok {
-			return nil, nil, fmt.Errorf("rulespec %q: redefine of unknown event %q", s.Name, d.Name)
+			return nil, nil, fmt.Errorf("rulespec %q line %d: redefine of unknown event %q", s.Name, d.Line, d.Name)
 		}
-		if err := lib.Redefine(d); err != nil {
-			return nil, nil, fmt.Errorf("rulespec %q: %v", s.Name, err)
+		if err := lib.Redefine(d.Definition); err != nil {
+			return nil, nil, fmt.Errorf("rulespec %q line %d: %v", s.Name, d.Line, err)
 		}
 	}
 	g := dgraph.New(s.Root)
@@ -364,8 +385,8 @@ func (s *Spec) Build(base *event.Library, cat *dgraph.Catalogue) (*event.Library
 		}
 	}
 	for _, r := range s.Rules {
-		if err := g.Replace(r); err != nil { // app rules override catalogue pulls
-			return nil, nil, fmt.Errorf("rulespec %q: %v", s.Name, err)
+		if err := g.Replace(r.Rule); err != nil { // app rules override catalogue pulls
+			return nil, nil, fmt.Errorf("rulespec %q line %d: %v", s.Name, r.Line, err)
 		}
 	}
 	if err := g.Validate(lib); err != nil {

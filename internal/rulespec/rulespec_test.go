@@ -228,3 +228,73 @@ rule "Line protocol flap" <- "Interface flap" {
 		t.Errorf("override failed: %+v", rules)
 	}
 }
+
+// TestStatementLines pins the line provenance threaded through the parsed
+// Spec: every statement must carry the 1-based source line its keyword
+// appears on, with comments and blank lines accounted for exactly.
+func TestStatementLines(t *testing.T) {
+	src := `app "lines" root "eBGP flap"
+
+# a comment that must advance the line counter
+event "eBGP flap" {
+    loctype router:neighbor
+    source  syslog
+}
+redefine event "Interface flap" {
+    loctype interface
+    source  syslog
+}
+
+rule "eBGP flap" <- "Interface flap" {
+    priority 10
+    join     interface
+}
+use "Interface flap" <- "SONET restoration" priority 190
+`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Line != 1 {
+		t.Errorf("app header line = %d, want 1", s.Line)
+	}
+	if got := s.Events[0].Line; got != 4 {
+		t.Errorf("event line = %d, want 4", got)
+	}
+	if got := s.Redefines[0].Line; got != 8 {
+		t.Errorf("redefine line = %d, want 8", got)
+	}
+	if got := s.Rules[0].Line; got != 13 {
+		t.Errorf("rule line = %d, want 13", got)
+	}
+	if got := s.Uses[0].Line; got != 17 {
+		t.Errorf("use line = %d, want 17", got)
+	}
+}
+
+// TestErrorsCarryLines asserts that every Parse failure names a source
+// line, including semantic (Validate) failures that used to surface bare.
+func TestErrorsCarryLines(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // required substring
+	}{
+		{"app \"x\" root \"r\"\nevent \"e\" {\n}", "line 2"},                               // missing loctype: Validate error
+		{"app \"x\" root \"r\"\n\nrule \"a\" <- \"a\" { priority 1 }", "line 3"},           // self-loop: Validate error
+		{"app \"x\" root \"r\"\nrule \"a\" <- \"b\" { priority x }", "line 2"},             // bad number token
+		{"app \"x\" root \"r\"\n\n\nbogus \"s\"", "line 4"},                                // unknown statement
+		{"app \"x\" root \"r\"\nevent \"e\" { loctype nowhere }", "line 2"},                // unknown location type
+		{"app \"x\" root \"r\"\nrule \"a\" <- \"b\" { symptom start expand 1 }", "line 2"}, // bad expansion option
+		{"app \"x\" root \"r\"\n\"unterminated", "line 2"},                                 // lexer error
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) error %q does not name %q", c.src, err, c.want)
+		}
+	}
+}

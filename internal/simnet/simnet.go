@@ -247,7 +247,13 @@ func Generate(cfg Config) (*Dataset, error) {
 	d.emitNoise()
 
 	d.Feeds = map[string]string{}
-	for src, lines := range d.feeds {
+	srcs := make([]string, 0, len(d.feeds))
+	for src := range d.feeds {
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
+	for _, src := range srcs {
+		lines := d.feeds[src]
 		sort.SliceStable(lines, func(i, j int) bool { return lines[i].at.Before(lines[j].at) })
 		var b strings.Builder
 		for _, l := range lines {

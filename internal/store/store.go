@@ -23,9 +23,9 @@ import (
 // search is store-bound, so query volume, window width, and result sizes
 // are the first numbers to read when diagnosis latency drifts.
 var (
-	mAdds          = obs.GetCounter("store.adds")
-	mQueries       = obs.GetCounter("store.queries")
-	mQueryWindow   = obs.GetHistogram("store.query.window.seconds",
+	mAdds        = obs.GetCounter("store.adds")
+	mQueries     = obs.GetCounter("store.queries")
+	mQueryWindow = obs.GetHistogram("store.query.window.seconds",
 		[]float64{1, 5, 10, 30, 60, 120, 300, 600, 1800, 3600, 7200, 21600, 86400})
 	mQueryResults  = obs.GetHistogram("store.query.results", obs.SizeBuckets)
 	mLazyResorts   = obs.GetCounter("store.lazy.resorts")
