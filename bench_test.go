@@ -21,6 +21,7 @@ import (
 	"grca/internal/apps/cdn"
 	"grca/internal/apps/pim"
 	"grca/internal/browser"
+	"grca/internal/chaos"
 	"grca/internal/dgraph"
 	"grca/internal/engine"
 	"grca/internal/event"
@@ -98,6 +99,37 @@ func lcCorpus(b *testing.B) *corpus {
 		Seed: 4, PoPs: 3, PERsPerPoP: 2, SessionsPerPER: 16,
 		Duration: 7 * 24 * time.Hour, BGPFlapIncidents: 250, LineCardCrash: true,
 	}, platform.Options{})
+}
+
+// chaosCorpus is the BGP corpus re-ingested from feeds where 10% of the
+// records were skewed, reordered, duplicated, or truncated (seeded via
+// internal/chaos) — the dirty-feed counterpart of bgpCorpus for measuring
+// pipeline throughput under realistic corruption.
+var (
+	chaosOnce sync.Once
+	chaosC    *corpus
+)
+
+func chaosCorpus(b *testing.B) *corpus {
+	clean := bgpCorpus(b)
+	chaosOnce.Do(func() {
+		inj := chaos.New(chaos.Config{
+			Seed: 2010,
+			Faults: []chaos.Fault{
+				chaos.FaultSkew, chaos.FaultReorder,
+				chaos.FaultDuplicate, chaos.FaultTruncate,
+			},
+			ReorderFraction: 0.10, DuplicateFraction: 0.10, TruncateFraction: 0.10,
+		})
+		fb := inj.Bundle(platform.BundleFromDataset(clean.dataset))
+		sys, err := fb.Assemble(platform.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chaos corpus: %v\n", err)
+			os.Exit(1)
+		}
+		chaosC = &corpus{dataset: clean.dataset, sys: sys}
+	})
+	return chaosC
 }
 
 var printOnce sync.Map
@@ -472,6 +504,36 @@ func BenchmarkParallelDiagnosis(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ds = eng.DiagnoseAllParallel(workers)
 			}
+			b.ReportMetric(float64(len(ds)), "events")
+		})
+	}
+}
+
+// BenchmarkChaosParallelDiagnosis measures DiagnoseAllParallel throughput
+// on the clean BGP corpus versus the same corpus ingested from 10%-faulted
+// feeds (skew + reorder + duplicate + truncate; see BENCH_CHAOS.json for
+// the recorded comparison). Accuracy is reported alongside so a throughput
+// win can't hide an evidence loss.
+func BenchmarkChaosParallelDiagnosis(b *testing.B) {
+	for _, v := range []struct {
+		name string
+		c    *corpus
+	}{
+		{"clean", bgpCorpus(b)},
+		{"faulted10pct", chaosCorpus(b)},
+	} {
+		eng, err := bgpflap.NewEngine(v.c.sys.Store, v.c.sys.View)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(v.name, func(b *testing.B) {
+			var ds []engine.Diagnosis
+			for i := 0; i < b.N; i++ {
+				ds = eng.DiagnoseAllParallel(0)
+			}
+			b.StopTimer()
+			score := platform.ScoreDiagnoses(v.c.dataset.Truth, "bgp", ds, 10*time.Minute)
+			b.ReportMetric(100*score.Accuracy(), "accuracy%")
 			b.ReportMetric(float64(len(ds)), "events")
 		})
 	}

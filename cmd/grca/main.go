@@ -62,6 +62,8 @@ func main() {
 		err = runGraph(os.Args[2:])
 	case "report":
 		err = runReport(os.Args[2:])
+	case "chaos":
+		err = runChaos(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -82,7 +84,8 @@ func usage() {
   grca check <bgpflap|cdn|pim|backbone> -data DIR
   grca vet [spec.grca ...] [-json] [-validate -data DIR]  # static spec/graph validation; no args vets the built-ins
   grca graph <bgpflap|cdn|pim|backbone>            # Graphviz DOT of the diagnosis graph
-  grca report <bgpflap|cdn|pim|backbone> -data DIR # full SQM report (breakdown, trend, drill-downs)`)
+  grca report <bgpflap|cdn|pim|backbone> -data DIR # full SQM report (breakdown, trend, drill-downs)
+  grca chaos -data DIR [-seed N] [-faults LIST] [-apps LIST] [-o FILE]  # fault-injection accuracy matrix (JSON)`)
 }
 
 type app struct {
@@ -176,10 +179,11 @@ func runApp(args []string) error {
 }
 
 // warnDrops surfaces the collector's per-source parse failures: a nonzero
-// drop rate means the diagnosis below ran on an incomplete evidence base.
+// drop rate means the diagnosis below ran on an incomplete evidence base,
+// and a quarantined source means a whole feed tail went unread.
 func warnDrops(c *collector.Collector) {
 	sum := c.Summary()
-	if sum.Totals.Malformed == 0 {
+	if sum.Totals.Malformed == 0 && len(sum.Quarantined()) == 0 {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "warning: %d/%d raw lines malformed and skipped (%.2f%% drop rate)\n",
@@ -188,6 +192,9 @@ func warnDrops(c *collector.Collector) {
 		if s.Malformed > 0 {
 			fmt.Fprintf(os.Stderr, "  %-10s %d/%d lines dropped (%.2f%%)\n",
 				s.Source, s.Malformed, s.Lines, 100*s.DropRate())
+		}
+		if s.Quarantined() {
+			fmt.Fprintf(os.Stderr, "  %-10s QUARANTINED: %s\n", s.Source, s.Quarantine)
 		}
 	}
 }
@@ -284,7 +291,7 @@ func runStats(args []string) error {
 	ds := eng.DiagnoseAll()
 	batch := time.Since(began)
 
-	streamed := 0
+	streamed, lateArrivals := 0, 0
 	if *stream {
 		// Replay the corpus in availability order so the realtime.* gauges
 		// and grace-wait histogram reflect this dataset too.
@@ -299,8 +306,10 @@ func runStats(args []string) error {
 		}
 		sort.SliceStable(ins, func(i, j int) bool { return ins[i].End.Before(ins[j].End) })
 		for _, in := range ins {
-			if _, err := proc.Observe(*in); err == nil {
+			if _, late := proc.Observe(*in); !late {
 				streamed++
+			} else {
+				lateArrivals++
 			}
 		}
 		proc.Flush()
@@ -310,6 +319,9 @@ func runStats(args []string) error {
 		args[0], sys.Store.Len(), len(ds), batch.Round(time.Millisecond))
 	if *stream {
 		fmt.Printf("; %d events replayed through the streaming processor", streamed)
+		if lateArrivals > 0 {
+			fmt.Printf(" (%d late)", lateArrivals)
+		}
 	}
 	fmt.Print("\n\n")
 	return obs.WriteText(os.Stdout, obs.Default().Snapshot())

@@ -58,9 +58,9 @@ func main() {
 	var worstLag time.Duration
 	began := time.Now()
 	for _, in := range stream {
-		out, err := p.Observe(in)
-		if err != nil {
-			log.Fatal(err)
+		out, late := p.Observe(in)
+		if late {
+			log.Fatalf("availability-ordered replay produced a late arrival: %v", in)
 		}
 		for _, d := range out {
 			// Lag in *event time*: how far the stream clock had to advance

@@ -1,0 +1,208 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"grca/internal/apps/backbone"
+	"grca/internal/apps/bgpflap"
+	"grca/internal/apps/cdn"
+	"grca/internal/apps/pim"
+	"grca/internal/dgraph"
+	"grca/internal/engine"
+	"grca/internal/event"
+	"grca/internal/netstate"
+	"grca/internal/platform"
+	"grca/internal/realtime"
+	"grca/internal/store"
+)
+
+// AppSpec binds one packaged RCA application to the harness.
+type AppSpec struct {
+	Name      string
+	Study     string // ground-truth study key in simnet.Truth
+	NewEngine func(*store.Store, *netstate.View) (*engine.Engine, error)
+	Build     func() (*event.Library, *dgraph.Graph, error)
+}
+
+// AppSpecs lists the packaged applications in canonical order.
+func AppSpecs() []AppSpec {
+	return []AppSpec{
+		{"bgpflap", "bgp", bgpflap.NewEngine, bgpflap.Build},
+		{"cdn", "cdn", cdn.NewEngine, cdn.Build},
+		{"pim", "pim", pim.NewEngine, pim.Build},
+		{"backbone", "backbone", backbone.NewEngine, backbone.Build},
+	}
+}
+
+// StreamStats carries the delayed-replay counters of one app's delay
+// scenario.
+type StreamStats struct {
+	Delivered int
+	Delayed   int
+	Late      int
+	Forced    int
+}
+
+// AppScore is one application's accuracy under one scenario.
+type AppScore struct {
+	App      string
+	Symptoms int // diagnoses produced
+	Score    ScoreSummary
+	// AccuracyDrop is the clean-run accuracy minus this scenario's
+	// (positive = the fault cost accuracy); zero in the clean block.
+	AccuracyDrop float64
+	Stream       *StreamStats `json:",omitempty"`
+}
+
+// Scenario is the report block of one fault class.
+type Scenario struct {
+	Fault       string
+	Malformed   int      `json:",omitempty"`
+	Quarantined []string `json:",omitempty"`
+	Dropped     []string `json:",omitempty"`
+	Apps        []AppScore
+}
+
+// Report is the harness's machine-readable output. Every field is a pure
+// function of the dataset and the seed — running the same matrix twice
+// must produce byte-identical JSON (the scenario tests enforce this), so
+// no wall-clock readings or map-ordered values belong here.
+type Report struct {
+	Seed             int64
+	ToleranceSeconds int
+	Clean            []AppScore
+	Scenarios        []Scenario
+}
+
+// Options tunes RunMatrix.
+type Options struct {
+	// Apps restricts the matrix to the named applications (default all).
+	Apps []string
+	// Faults restricts the fault classes (default AllFaults).
+	Faults []Fault
+	// Tolerance is the truth-matching window (default 10m).
+	Tolerance time.Duration
+	// MaxPending bounds the streaming processor's pending queue in the
+	// delay scenario (0 = unbounded).
+	MaxPending int
+}
+
+// RunMatrix runs the scenario matrix over a dataset bundle: assemble and
+// score the clean pipeline once per application, then for each fault
+// class perturb the bundle with that single fault (at cfg's rates, under
+// cfg.Seed) and score again. cfg.Faults is ignored — each scenario
+// injects exactly one class, so a fault's accuracy cost is attributable.
+func RunMatrix(b platform.Bundle, cfg Config, opts Options) (*Report, error) {
+	if opts.Tolerance == 0 {
+		opts.Tolerance = 10 * time.Minute
+	}
+	faults := opts.Faults
+	if len(faults) == 0 {
+		faults = AllFaults()
+	}
+	apps, err := selectApps(opts.Apps)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Seed: cfg.Seed, ToleranceSeconds: int(opts.Tolerance / time.Second)}
+
+	cleanSys, err := b.Assemble(platform.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: clean assemble: %v", err)
+	}
+	cleanAcc := map[string]float64{}
+	for _, a := range apps {
+		sc, err := scoreApp(a, cleanSys, b, opts.Tolerance)
+		if err != nil {
+			return nil, err
+		}
+		cleanAcc[a.Name] = sc.Score.Accuracy
+		rep.Clean = append(rep.Clean, sc)
+	}
+
+	for _, f := range faults {
+		sCfg := cfg
+		sCfg.Faults = []Fault{f}
+		inj := New(sCfg)
+		scen := Scenario{Fault: string(f)}
+
+		if f == FaultDelay {
+			// Delay perturbs delivery into the streaming processor, not
+			// the feed text: replay the clean corpus per application.
+			for _, a := range apps {
+				_, g, err := a.Build()
+				if err != nil {
+					return nil, fmt.Errorf("chaos: %s graph: %v", a.Name, err)
+				}
+				grace := realtime.GraceFor(g, 15*time.Minute)
+				res := inj.Replay(cleanSys.View, g, cleanSys.Store, grace, opts.MaxPending)
+				sc := AppScore{
+					App:      a.Name,
+					Symptoms: len(res.Diagnoses),
+					Score:    Score(b.Truth, a.Study, res.Diagnoses, opts.Tolerance),
+					Stream: &StreamStats{
+						Delivered: res.Delivered, Delayed: res.Delayed,
+						Late: res.Late, Forced: res.Forced,
+					},
+				}
+				sc.AccuracyDrop = cleanAcc[a.Name] - sc.Score.Accuracy
+				scen.Apps = append(scen.Apps, sc)
+			}
+			rep.Scenarios = append(rep.Scenarios, scen)
+			continue
+		}
+
+		fb := inj.Bundle(b)
+		sys, err := fb.Assemble(platform.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("chaos: %s assemble: %v", f, err)
+		}
+		sum := sys.Collector.Summary()
+		scen.Malformed = sum.Totals.Malformed
+		scen.Quarantined = sum.Quarantined()
+		scen.Dropped = inj.Dropped
+		for _, a := range apps {
+			sc, err := scoreApp(a, sys, b, opts.Tolerance)
+			if err != nil {
+				return nil, err
+			}
+			sc.AccuracyDrop = cleanAcc[a.Name] - sc.Score.Accuracy
+			scen.Apps = append(scen.Apps, sc)
+		}
+		rep.Scenarios = append(rep.Scenarios, scen)
+	}
+	return rep, nil
+}
+
+func selectApps(names []string) ([]AppSpec, error) {
+	all := AppSpecs()
+	if len(names) == 0 {
+		return all, nil
+	}
+	var out []AppSpec
+	for _, name := range names {
+		found := false
+		for _, a := range all {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("chaos: unknown application %q", name)
+		}
+	}
+	return out, nil
+}
+
+func scoreApp(a AppSpec, sys *platform.System, b platform.Bundle, tol time.Duration) (AppScore, error) {
+	eng, err := a.NewEngine(sys.Store, sys.View)
+	if err != nil {
+		return AppScore{}, fmt.Errorf("chaos: %s engine: %v", a.Name, err)
+	}
+	ds := eng.DiagnoseAll()
+	return AppScore{App: a.Name, Symptoms: len(ds), Score: Score(b.Truth, a.Study, ds, tol)}, nil
+}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"grca/internal/bgp"
@@ -33,10 +35,11 @@ import (
 // heterogeneous feeds in real time, so raw-line throughput, parse failure
 // rate, and normalized-event yield are its health signals.
 var (
-	mLines     = obs.GetCounter("collector.lines")
-	mParsed    = obs.GetCounter("collector.parsed")
-	mMalformed = obs.GetCounter("collector.malformed")
-	mEvents    = obs.GetCounter("collector.events")
+	mLines       = obs.GetCounter("collector.lines")
+	mParsed      = obs.GetCounter("collector.parsed")
+	mMalformed   = obs.GetCounter("collector.malformed")
+	mEvents      = obs.GetCounter("collector.events")
+	mQuarantined = obs.GetCounter("collector.quarantined")
 )
 
 // Source names accepted by Ingest.
@@ -97,6 +100,32 @@ func (t *Thresholds) defaults() {
 	}
 }
 
+// ErrorBudget bounds how much malformed input a single source may deliver
+// before the collector quarantines it: stops consuming the feed, records
+// the reason, and moves on to the other sources. Without a budget, one
+// corrupted feed among the paper's ~600 floods the malformed tally and
+// burns ingest time line by line; aborting the whole run for it would be
+// worse. The zero value takes the documented defaults.
+type ErrorBudget struct {
+	// MinLines is how many raw lines a source must deliver before its
+	// drop rate is judged (default 200) — early garbage on a feed that
+	// recovers should not condemn it.
+	MinLines int
+	// MaxDropRate is the malformed fraction beyond which the source is
+	// quarantined (default 0.5). A value ≥ 1 disables rate quarantine
+	// (scanner failures still quarantine — they are unrecoverable).
+	MaxDropRate float64
+}
+
+func (b *ErrorBudget) defaults() {
+	if b.MinLines == 0 {
+		b.MinLines = 200
+	}
+	if b.MaxDropRate == 0 {
+		b.MaxDropRate = 0.5
+	}
+}
+
 // Malformed summarizes rejected raw lines.
 type Malformed struct {
 	Count   int
@@ -118,7 +147,14 @@ type SourceStats struct {
 	Parsed    int
 	Malformed int
 	Events    int
+	// Quarantine is non-empty when the source tripped its error budget or
+	// failed at the scanner; it records why and implies the tail of the
+	// feed was skipped.
+	Quarantine string
 }
+
+// Quarantined reports whether the source was cut off mid-feed.
+func (s SourceStats) Quarantined() bool { return s.Quarantine != "" }
 
 // DropRate is the fraction of raw lines rejected as malformed.
 func (s SourceStats) DropRate() float64 {
@@ -141,6 +177,17 @@ type SourceSummary struct {
 type IngestSummary struct {
 	Sources []SourceSummary // sorted by source name
 	Totals  SourceStats
+}
+
+// Quarantined lists the names of sources cut off mid-feed, sorted.
+func (s IngestSummary) Quarantined() []string {
+	var out []string
+	for _, src := range s.Sources {
+		if src.Quarantined() {
+			out = append(out, src.Source)
+		}
+	}
+	return out
 }
 
 // Summary reports per-source ingestion statistics. Events emitted by
@@ -201,6 +248,8 @@ type Collector struct {
 	WindowStart, WindowEnd time.Time
 	// Thresholds configures the detectors.
 	Thresholds Thresholds
+	// Budget is the per-source malformed-line tolerance; see ErrorBudget.
+	Budget ErrorBudget
 	// Malformed accumulates rejected input lines.
 	Malformed Malformed
 	// Sources tallies per-feed ingestion (lines, parsed, malformed,
@@ -262,7 +311,11 @@ func New(topo *netmodel.Topology, st *store.Store, year int) *Collector {
 }
 
 // Ingest parses one feed. Unknown sources are an error; malformed lines
-// within a known feed are tallied in Malformed and skipped.
+// within a known feed are tallied in Malformed and skipped. A source that
+// exhausts its error budget — or whose scanner fails outright (an absurd
+// line length, a read error) — is quarantined rather than aborting the
+// run: its remaining input is dropped, the reason lands in its
+// SourceStats, and ingestion of the other feeds continues.
 func (c *Collector) Ingest(source string, r io.Reader) error {
 	if c.finalized {
 		return fmt.Errorf("collector: Ingest after Finalize")
@@ -292,28 +345,122 @@ func (c *Collector) Ingest(source string, r io.Reader) error {
 	default:
 		return fmt.Errorf("collector: unknown source %q", source)
 	}
+	budget := c.Budget
+	budget.defaults()
 	stats := c.stats(source)
 	c.curSource = source
 	defer func() { c.curSource = "" }()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		if line == "" || line[0] == '#' {
-			continue
-		}
+
+	// consume runs one raw line through the parser under the error budget;
+	// it reports false once the source is quarantined.
+	consume := func(line string) bool {
 		stats.Lines++
 		mLines.Inc()
 		if err := parse(line); err != nil {
 			c.Malformed.add(source, line, err)
 			stats.Malformed++
 			mMalformed.Inc()
+			if stats.Lines >= budget.MinLines && float64(stats.Malformed) > budget.MaxDropRate*float64(stats.Lines) {
+				stats.Quarantine = fmt.Sprintf("error budget exhausted: %d/%d lines malformed (> %.0f%%)",
+					stats.Malformed, stats.Lines, 100*budget.MaxDropRate)
+				mQuarantined.Inc()
+				return false
+			}
 		} else {
 			stats.Parsed++
 			mParsed.Inc()
 		}
+		return true
 	}
-	return sc.Err()
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+
+	if stamp := lineStamp[source]; stamp != nil {
+		// Order-sensitive feed: its parser replays a state machine (OSPF
+		// weights, BGP RIB) or a rolling baseline, so records delivered out
+		// of time order — multi-threaded relays, retried batches — would
+		// corrupt reconstructed state. Buffer the feed and restore record
+		// order before parsing. Lines whose timestamp cannot be read sort
+		// to the front, where the parser tallies them as malformed.
+		type stamped struct {
+			at   time.Time
+			line string
+		}
+		var lines []stamped
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" || line[0] == '#' {
+				continue
+			}
+			at, _ := stamp(line)
+			lines = append(lines, stamped{at: at, line: line})
+		}
+		sort.SliceStable(lines, func(i, j int) bool { return lines[i].at.Before(lines[j].at) })
+		for _, l := range lines {
+			if !consume(l.line) {
+				return nil
+			}
+		}
+	} else {
+		for sc.Scan() {
+			line := sc.Text()
+			if line == "" || line[0] == '#' {
+				continue
+			}
+			if !consume(line) {
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		stats.Quarantine = fmt.Sprintf("scan failed: %v", err)
+		mQuarantined.Inc()
+	}
+	return nil
+}
+
+// lineStamp maps each centrally-stamped, order-sensitive source to a
+// function extracting its record timestamp, used by Ingest to restore
+// record order before parsing. Syslog, TACACS, workflow, and layer-1
+// records stay in arrival order: they carry device-local or zoned stamps
+// and feed point events or Finalize-sorted pairing buffers, which tolerate
+// disorder by construction.
+var lineStamp = map[string]func(string) (time.Time, bool){
+	SourceOSPFMon: stampRFC3339Field,
+	SourceBGPMon:  stampEpochUntil('|'),
+	SourceSNMP:    stampEpochUntil(','),
+	SourcePerfMon: stampEpochUntil(','),
+	SourceKeynote: stampEpochUntil(','),
+	SourceServer:  stampEpochUntil(','),
+}
+
+// stampRFC3339Field reads a leading RFC 3339 timestamp field.
+func stampRFC3339Field(line string) (time.Time, bool) {
+	i := strings.IndexByte(line, ' ')
+	if i < 0 {
+		i = len(line)
+	}
+	at, err := time.Parse(time.RFC3339, line[:i])
+	if err != nil {
+		return time.Time{}, false
+	}
+	return at, true
+}
+
+// stampEpochUntil reads a leading Unix-seconds field ended by sep.
+func stampEpochUntil(sep byte) func(string) (time.Time, bool) {
+	return func(line string) (time.Time, bool) {
+		i := strings.IndexByte(line, sep)
+		if i < 0 {
+			return time.Time{}, false
+		}
+		secs, err := strconv.ParseInt(line[:i], 10, 64)
+		if err != nil {
+			return time.Time{}, false
+		}
+		return time.Unix(secs, 0).UTC(), true
+	}
 }
 
 // add stores an event instance, crediting the feed being ingested.

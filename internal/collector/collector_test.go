@@ -260,6 +260,37 @@ func TestOSPFMonInference(t *testing.T) {
 	}
 }
 
+func TestOutOfOrderStatefulFeedRestored(t *testing.T) {
+	// The OSPF weight timeline rejects out-of-order changes, so Ingest
+	// must restore record order on stateful feeds before parsing: a
+	// scrambled monitor feed yields exactly the events of the sorted one.
+	c, st := newCollector(t)
+	l := c.Topo.Links["chi-wdc-1"]
+	aIP, loopA := l.A.IP.String(), l.A.Router.Loopback.String()
+
+	feed := strings.Join([]string{
+		"2010-01-01T06:30:00Z " + loopA + " " + aIP + " metric 10",
+		"2010-01-01T00:00:00Z " + loopA + " " + aIP + " metric 10 initial",
+		"2010-01-01T06:00:00Z " + loopA + " " + aIP + " metric 65535",
+	}, "\n") + "\n"
+	ingest(t, c, SourceOSPFMon, feed)
+	finalize(t, c)
+
+	if c.Malformed.Count != 0 {
+		t.Fatalf("malformed = %+v, want out-of-order lines reordered, not rejected", c.Malformed)
+	}
+	if got := st.Count(event.LinkCostOutDown); got != 2 {
+		t.Errorf("cost out = %d, want 2", got)
+	}
+	if got := st.Count(event.LinkCostInUp); got != 2 {
+		t.Errorf("cost in = %d, want 2", got)
+	}
+	atOut := time.Date(2010, 1, 1, 6, 15, 0, 0, time.UTC)
+	if w := c.OSPF.WeightAt("chi-wdc-1", atOut); w < 1<<20 {
+		t.Errorf("weight during cost-out = %d, want infinity", w)
+	}
+}
+
 func TestRouterCostInOutInference(t *testing.T) {
 	c, st := newCollector(t)
 	n := c.Topo
@@ -478,5 +509,84 @@ func TestCommentsAndBlanksSkipped(t *testing.T) {
 	finalize(t, c)
 	if st.Count(event.CPUHighAverage) != 1 || c.Malformed.Count != 0 {
 		t.Error("comment/blank handling wrong")
+	}
+}
+
+func TestErrorBudgetQuarantine(t *testing.T) {
+	c, st := newCollector(t)
+	c.Budget = ErrorBudget{MinLines: 10, MaxDropRate: 0.5}
+	var b strings.Builder
+	// Nine good lines, then a run of garbage that blows the 50% budget,
+	// then a good line that must never be reached.
+	for i := 0; i < 9; i++ {
+		b.WriteString("Jan  2 06:00:0" + strconv.Itoa(i) + " chi-per1 %SYS-5-RESTART: System restarted\n")
+	}
+	for i := 0; i < 12; i++ {
+		b.WriteString("total garbage line\n")
+	}
+	b.WriteString("Jan  2 07:00:00 nyc-per1 %SYS-5-RESTART: System restarted\n")
+	ingest(t, c, SourceSyslog, b.String())
+
+	s := c.Sources[SourceSyslog]
+	if !s.Quarantined() {
+		t.Fatalf("source not quarantined: %+v", s)
+	}
+	// Quarantine trips at the first malformed line where lines ≥ 10 and
+	// malformed > 50%: after 9 good + 10 bad = 19 lines, 10 malformed.
+	if s.Lines != 19 || s.Malformed != 10 {
+		t.Errorf("stats at quarantine: %+v", s)
+	}
+	finalize(t, c)
+	if got := st.Count(event.RouterReboot); got != 9 {
+		t.Errorf("events before quarantine = %d, want 9 (tail must be skipped)", got)
+	}
+	if q := c.Summary().Quarantined(); len(q) != 1 || q[0] != SourceSyslog {
+		t.Errorf("summary quarantined = %v", q)
+	}
+}
+
+func TestErrorBudgetNotTrippedBelowMinLines(t *testing.T) {
+	c, _ := newCollector(t)
+	c.Budget = ErrorBudget{MinLines: 100, MaxDropRate: 0.5}
+	// 20 garbage lines: 100% drop rate but below the judging floor.
+	ingest(t, c, SourceSyslog, strings.Repeat("garbage\n", 20))
+	if s := c.Sources[SourceSyslog]; s.Quarantined() {
+		t.Errorf("quarantined below MinLines: %+v", s)
+	}
+}
+
+func TestErrorBudgetDisabled(t *testing.T) {
+	c, _ := newCollector(t)
+	c.Budget = ErrorBudget{MinLines: 1, MaxDropRate: 1}
+	ingest(t, c, SourceSyslog, strings.Repeat("garbage\n", 500))
+	s := c.Sources[SourceSyslog]
+	if s.Quarantined() {
+		t.Errorf("MaxDropRate ≥ 1 must disable rate quarantine: %+v", s)
+	}
+	if s.Malformed != 500 {
+		t.Errorf("malformed = %d", s.Malformed)
+	}
+}
+
+func TestScannerFailureQuarantinesNotAborts(t *testing.T) {
+	c, st := newCollector(t)
+	// A 5 MB line exceeds the scanner's 4 MB buffer: previously this
+	// aborted the whole ingest with an error; now the source quarantines
+	// and the rest of the pipeline keeps going.
+	huge := "Jan  2 06:00:00 chi-per1 %SYS-5-RESTART: " + strings.Repeat("x", 5<<20)
+	err := c.Ingest(SourceSyslog, strings.NewReader(
+		"Jan  2 06:00:00 chi-per1 %SYS-5-RESTART: System restarted\n"+huge+"\n"))
+	if err != nil {
+		t.Fatalf("scanner failure must not abort ingest: %v", err)
+	}
+	s := c.Sources[SourceSyslog]
+	if !s.Quarantined() || !strings.Contains(s.Quarantine, "scan failed") {
+		t.Errorf("quarantine = %q", s.Quarantine)
+	}
+	// Other sources remain ingestible.
+	ingest(t, c, SourceSNMP, "1262304000,chi-per1,cpu5min,,87.5\n")
+	finalize(t, c)
+	if st.Count(event.RouterReboot) != 1 {
+		t.Errorf("events before scan failure lost")
 	}
 }

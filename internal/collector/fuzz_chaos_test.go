@@ -1,0 +1,119 @@
+package collector_test
+
+import (
+	"strings"
+	"testing"
+
+	"grca/internal/chaos"
+	"grca/internal/collector"
+	"grca/internal/store"
+	"grca/internal/testnet"
+)
+
+// chaosSeeds mutates a corpus of well-formed lines through every chaos
+// fault class and returns the perturbed lines — realistic corruption
+// (clock-skewed stamps, mid-line truncations, duplicates) rather than
+// random bytes, so the fuzzer starts near the parsers' edge cases.
+func chaosSeeds(source string, lines ...string) []string {
+	text := strings.Join(lines, "\n") + "\n"
+	out := append([]string(nil), lines...)
+	for _, seed := range []int64{1, 2, 3} {
+		inj := chaos.New(chaos.Config{
+			Seed:              seed,
+			Faults:            chaos.AllFaults(),
+			TruncateFraction:  0.5,
+			SkewFraction:      1,
+			DuplicateFraction: 0.3,
+		})
+		out = append(out, strings.Split(strings.TrimSuffix(inj.Feed(source, text), "\n"), "\n")...)
+	}
+	return out
+}
+
+// FuzzSyslogLine drives the syslog parser — timestamp/year/timezone
+// normalization, signature matching, transition buffering — from
+// chaos-mutated seeds. The parser must never panic and must tally every
+// line as either parsed or malformed.
+func FuzzSyslogLine(f *testing.F) {
+	for _, l := range chaosSeeds(collector.SourceSyslog,
+		"Jan  2 15:04:05 chi-per1 %LINK-3-UPDOWN: Interface to-custB, changed state to down",
+		"Jan  2 15:04:06 chi-per1 %LINK-3-UPDOWN: Interface to-custB, changed state to up",
+		"Jan  2 15:04:05 chi-per1 %BGP-5-ADJCHANGE: neighbor 10.1.0.10 Down",
+		"Jan  2 15:04:05 chi-per1 %PIM-5-NBRCHG: VRF v: neighbor 10.255.0.9 DOWN",
+		"Dec 31 23:59:59 nyc-per1.net.example.com %SYS-5-RESTART: System restarted",
+	) {
+		f.Add(l)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		n := testnet.Build(t.Fatalf)
+		c := collector.New(n.Topo, store.New(), 2010)
+		if err := c.Ingest(collector.SourceSyslog, strings.NewReader(line)); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		s := c.Sources[collector.SourceSyslog]
+		if s != nil && s.Parsed+s.Malformed != s.Lines {
+			t.Fatalf("line accounting broken: parsed %d + malformed %d != lines %d",
+				s.Parsed, s.Malformed, s.Lines)
+		}
+		if err := c.Finalize(); err != nil {
+			t.Fatalf("finalize: %v", err)
+		}
+	})
+}
+
+// FuzzSNMPLine drives the SNMP sample parser and its threshold detectors
+// from chaos-mutated seeds.
+func FuzzSNMPLine(f *testing.F) {
+	for _, l := range chaosSeeds(collector.SourceSNMP,
+		"1262304000,chi-per1,cpu5min,,87.5",
+		"1262304000,chi-per1,ifInErrors,to-custB,150",
+		"1262304300,chi-cr1,ifUtil,to-chi-cr2,92.5",
+	) {
+		f.Add(l)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		n := testnet.Build(t.Fatalf)
+		c := collector.New(n.Topo, store.New(), 2010)
+		if err := c.Ingest(collector.SourceSNMP, strings.NewReader(line)); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		if err := c.Finalize(); err != nil {
+			t.Fatalf("finalize: %v", err)
+		}
+	})
+}
+
+// FuzzTransitions drives the full transition-pairing path: a whole
+// chaos-mutated multi-line feed of up/down/adjacency edges through Ingest
+// and Finalize (flap pairing, BGP pairing, PIM pairing).
+func FuzzTransitions(f *testing.F) {
+	feeds := []string{
+		strings.Join([]string{
+			"Jan  2 15:04:05 chi-per1 %LINK-3-UPDOWN: Interface to-custB, changed state to down",
+			"Jan  2 15:04:35 chi-per1 %LINEPROTO-5-UPDOWN: Line protocol on Interface to-custB, changed state to down",
+			"Jan  2 15:05:05 chi-per1 %BGP-5-ADJCHANGE: neighbor 10.1.0.10 Down",
+			"Jan  2 15:06:05 chi-per1 %LINK-3-UPDOWN: Interface to-custB, changed state to up",
+			"Jan  2 15:06:15 chi-per1 %LINEPROTO-5-UPDOWN: Line protocol on Interface to-custB, changed state to up",
+			"Jan  2 15:06:55 chi-per1 %BGP-5-ADJCHANGE: neighbor 10.1.0.10 Up",
+			"Jan  2 16:00:00 chi-per1 %PIM-5-NBRCHG: VRF v: neighbor 10.255.0.9 DOWN",
+			"Jan  2 16:02:00 chi-per1 %PIM-5-NBRCHG: VRF v: neighbor 10.255.0.9 UP",
+		}, "\n") + "\n",
+	}
+	for _, feed := range feeds {
+		f.Add(feed)
+		for _, seed := range []int64{4, 5} {
+			inj := chaos.New(chaos.Config{Seed: seed, Faults: chaos.AllFaults(), TruncateFraction: 0.3})
+			f.Add(inj.Feed(collector.SourceSyslog, feed))
+		}
+	}
+	f.Fuzz(func(t *testing.T, feed string) {
+		n := testnet.Build(t.Fatalf)
+		c := collector.New(n.Topo, store.New(), 2010)
+		if err := c.Ingest(collector.SourceSyslog, strings.NewReader(feed)); err != nil {
+			t.Fatalf("ingest: %v", err)
+		}
+		if err := c.Finalize(); err != nil {
+			t.Fatalf("finalize: %v", err)
+		}
+	})
+}

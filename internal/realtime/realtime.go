@@ -14,7 +14,6 @@
 package realtime
 
 import (
-	"fmt"
 	"time"
 
 	"grca/internal/dgraph"
@@ -27,13 +26,15 @@ import (
 
 // Streaming-pipeline metrics: queue depth is the backpressure signal a
 // real-time deployment watches, the grace-wait histogram shows how long
-// symptoms sit before their evidence horizon passes (in event time), and
-// rejects count the mis-ordered arrivals the paper's heterogeneous feeds
-// would produce without collector-side normalization.
+// symptoms sit before their evidence horizon passes (in event time), late
+// counts the arrivals past the grace window the paper's heterogeneous
+// feeds would produce without collector-side normalization, and forced
+// counts diagnoses emitted early because the pending queue hit its bound.
 var (
 	mObserved    = obs.GetCounter("realtime.observed")
-	mRejected    = obs.GetCounter("realtime.rejected")
+	mLate        = obs.GetCounter("realtime.late")
 	mDiagnosed   = obs.GetCounter("realtime.diagnosed")
+	mForced      = obs.GetCounter("realtime.forced")
 	mPending     = obs.GetGauge("realtime.pending")
 	mPendingPeak = obs.GetGauge("realtime.pending.peak")
 	mGraceWait   = obs.GetHistogram("realtime.grace.wait.seconds",
@@ -46,10 +47,21 @@ type Processor struct {
 	// evidence; see GraceFor.
 	Grace time.Duration
 
+	// MaxPending, when positive, bounds the pending-symptom queue: once
+	// more than MaxPending symptoms await their grace period, the oldest
+	// is diagnosed immediately with the evidence observed so far. This is
+	// the backpressure valve for a feed storm (a line-card crash flapping
+	// hundreds of sessions at once) — memory stays bounded and diagnoses
+	// keep flowing, at the cost of possibly-incomplete evidence on the
+	// force-drained symptoms. Zero means unbounded.
+	MaxPending int
+
 	eng     *engine.Engine
 	st      *store.Store
 	pending []*event.Instance
 	now     time.Time
+	late    int
+	forced  int
 }
 
 // New builds a streaming processor. The store starts empty and fills from
@@ -63,19 +75,24 @@ func New(view *netstate.View, g *dgraph.Graph, grace time.Duration) *Processor {
 // Store exposes the processor's event store (e.g. for trending).
 func (p *Processor) Store() *store.Store { return p.st }
 
-// Observe ingests one normalized event instance. Instances must arrive in
-// nondecreasing order of availability (their End time), with a tolerance
-// of Grace for cross-source skew; older instances are rejected so that a
-// mis-ordered feed surfaces instead of silently degrading diagnoses.
+// Observe ingests one normalized event instance. Instances should arrive
+// in nondecreasing order of availability (their End time), with a
+// tolerance of Grace for cross-source skew. An instance older than that is
+// still stored (trending and later symptoms must see it) but is flagged by
+// the returned late marker and counted, because any symptom already
+// diagnosed could not have used it — the delayed-feed failure mode a
+// tier-1 collector lives with, surfaced instead of silently misjoined. A
+// late root symptom is still diagnosed, immediately, since its grace
+// period has already passed.
 //
 // Observe returns the diagnoses of every pending symptom whose grace
 // period elapsed as the stream clock advanced.
-func (p *Processor) Observe(in event.Instance) ([]engine.Diagnosis, error) {
+func (p *Processor) Observe(in event.Instance) (ds []engine.Diagnosis, late bool) {
 	avail := in.End
 	if avail.Before(p.now.Add(-p.Grace)) {
-		mRejected.Inc()
-		return nil, fmt.Errorf("realtime: instance %v available at %v arrived after clock %v (beyond grace)",
-			in.Name, avail, p.now)
+		late = true
+		p.late++
+		mLate.Inc()
 	}
 	mObserved.Inc()
 	stored := p.st.Add(in)
@@ -86,7 +103,19 @@ func (p *Processor) Observe(in event.Instance) ([]engine.Diagnosis, error) {
 		p.pending = append(p.pending, stored)
 		mPendingPeak.SetMax(int64(len(p.pending)))
 	}
-	return p.drain(false), nil
+	ds = p.drain(false)
+	// Backpressure: force-drain the oldest pending symptoms beyond the
+	// queue bound.
+	for p.MaxPending > 0 && len(p.pending) > p.MaxPending {
+		sym := p.pending[0]
+		p.pending = p.pending[1:]
+		p.forced++
+		mForced.Inc()
+		mDiagnosed.Inc()
+		ds = append(ds, p.eng.Diagnose(sym))
+		mPending.Set(int64(len(p.pending)))
+	}
+	return ds, late
 }
 
 // Flush diagnoses every still-pending symptom; call it when the stream
@@ -95,6 +124,14 @@ func (p *Processor) Flush() []engine.Diagnosis { return p.drain(true) }
 
 // Pending reports how many symptoms await their grace period.
 func (p *Processor) Pending() int { return len(p.pending) }
+
+// Late reports how many observed instances arrived beyond the grace
+// window (and so were invisible to any already-emitted diagnosis).
+func (p *Processor) Late() int { return p.late }
+
+// Forced reports how many pending symptoms were diagnosed early because
+// the queue exceeded MaxPending.
+func (p *Processor) Forced() int { return p.forced }
 
 func (p *Processor) drain(all bool) []engine.Diagnosis {
 	var out []engine.Diagnosis

@@ -59,9 +59,9 @@ func TestReplayMatchesBatch(t *testing.T) {
 	p := New(sys.View, g, grace)
 	var live []engine.Diagnosis
 	for _, in := range stream {
-		out, err := p.Observe(in)
-		if err != nil {
-			t.Fatal(err)
+		out, late := p.Observe(in)
+		if late {
+			t.Fatalf("instance %v marked late in an availability-ordered replay", in)
 		}
 		live = append(live, out...)
 	}
@@ -115,26 +115,23 @@ func TestSymptomHeldForGrace(t *testing.T) {
 	adj := locus.Between(locus.RouterNeighbor, "chi-per1", ifc.PeerIP.String())
 
 	// Symptom arrives first; no diagnosis yet.
-	out, err := p.Observe(event.Instance{Name: event.EBGPFlap,
+	out, late := p.Observe(event.Instance{Name: event.EBGPFlap,
 		Start: t0.Add(time.Hour), End: t0.Add(time.Hour + time.Minute), Loc: adj})
-	if err != nil || len(out) != 0 || p.Pending() != 1 {
-		t.Fatalf("premature diagnosis: %v %v pending=%d", out, err, p.Pending())
+	if late || len(out) != 0 || p.Pending() != 1 {
+		t.Fatalf("premature diagnosis: %v late=%v pending=%d", out, late, p.Pending())
 	}
-	// Late evidence within grace still counts: the interface flap event
+	// Trailing evidence within grace still counts: the interface flap event
 	// materializes three minutes after the symptom ended.
-	out, err = p.Observe(event.Instance{Name: event.InterfaceFlap,
+	out, late = p.Observe(event.Instance{Name: event.InterfaceFlap,
 		Start: t0.Add(time.Hour - 2*time.Minute), End: t0.Add(time.Hour + 4*time.Minute),
 		Loc: locus.Between(locus.Interface, "chi-per1", "to-custB")})
-	if err != nil || len(out) != 0 {
-		t.Fatalf("diagnosed before grace: %v %v", out, err)
+	if late || len(out) != 0 {
+		t.Fatalf("diagnosed before grace: %v late=%v", out, late)
 	}
 	// A later unrelated event advances the clock past the grace period.
-	out, err = p.Observe(event.Instance{Name: "tick",
+	out, _ = p.Observe(event.Instance{Name: "tick",
 		Start: t0.Add(2 * time.Hour), End: t0.Add(2 * time.Hour),
 		Loc: locus.At(locus.Router, "nyc-cr1")})
-	if err != nil {
-		t.Fatal(err)
-	}
 	if len(out) != 1 {
 		t.Fatalf("diagnoses after grace = %d", len(out))
 	}
@@ -143,23 +140,106 @@ func TestSymptomHeldForGrace(t *testing.T) {
 	}
 }
 
-func TestOutOfOrderRejectedBeyondGrace(t *testing.T) {
+// TestLateMarkedBeyondGrace pins the late-arrival boundary: an instance
+// available exactly Grace before the stream clock is on time; one
+// nanosecond older is late — stored and counted, never silently misjoined
+// into already-emitted diagnoses.
+func TestLateMarkedBeyondGrace(t *testing.T) {
 	n := testnet.Build(t.Fatalf)
 	p := New(n.View, miniGraph(t), time.Minute)
 	t0 := testnet.T0
-	if _, err := p.Observe(event.Instance{Name: "x", Start: t0.Add(time.Hour), End: t0.Add(time.Hour),
-		Loc: locus.At(locus.Router, "nyc-cr1")}); err != nil {
-		t.Fatal(err)
+	loc := locus.At(locus.Router, "nyc-cr1")
+	obs := func(at time.Time) bool {
+		_, late := p.Observe(event.Instance{Name: "x", Start: at, End: at, Loc: loc})
+		return late
+	}
+	if obs(t0.Add(time.Hour)) {
+		t.Fatal("clock-advancing instance marked late")
 	}
 	// 30 s of skew is within the 1-minute grace.
-	if _, err := p.Observe(event.Instance{Name: "x", Start: t0.Add(time.Hour - 30*time.Second),
-		End: t0.Add(time.Hour - 30*time.Second), Loc: locus.At(locus.Router, "nyc-cr1")}); err != nil {
-		t.Errorf("skew within grace rejected: %v", err)
+	if obs(t0.Add(time.Hour - 30*time.Second)) {
+		t.Error("skew within grace marked late")
 	}
-	// Ten minutes back is a broken feed.
-	if _, err := p.Observe(event.Instance{Name: "x", Start: t0.Add(50 * time.Minute),
-		End: t0.Add(50 * time.Minute), Loc: locus.At(locus.Router, "nyc-cr1")}); err == nil {
-		t.Error("gross reordering accepted")
+	// Exactly Grace back is still on time (boundary is inclusive).
+	if obs(t0.Add(time.Hour - time.Minute)) {
+		t.Error("instance exactly at the grace boundary marked late")
+	}
+	// A nanosecond beyond the boundary is late.
+	if !obs(t0.Add(time.Hour - time.Minute - time.Nanosecond)) {
+		t.Error("instance beyond grace not marked late")
+	}
+	// Ten minutes back is a broken feed — late, but stored all the same.
+	if !obs(t0.Add(50 * time.Minute)) {
+		t.Error("gross reordering not marked late")
+	}
+	if p.Late() != 2 {
+		t.Errorf("Late() = %d, want 2", p.Late())
+	}
+	if got := p.Store().Count("x"); got != 5 {
+		t.Errorf("store count = %d, want 5 (late instances must still be stored)", got)
+	}
+}
+
+// TestLateSymptomStillDiagnosed: a root symptom arriving beyond grace is
+// past its own evidence horizon, so it is diagnosed immediately instead of
+// being dropped.
+func TestLateSymptomStillDiagnosed(t *testing.T) {
+	n := testnet.Build(t.Fatalf)
+	p := New(n.View, miniGraph(t), time.Minute)
+	t0 := testnet.T0
+	ifc, _ := n.Topo.InterfaceByName("chi-per1", "to-custB")
+	adj := locus.Between(locus.RouterNeighbor, "chi-per1", ifc.PeerIP.String())
+
+	// Evidence and clock-advancing tick arrive first.
+	p.Observe(event.Instance{Name: event.InterfaceFlap,
+		Start: t0.Add(time.Hour - 2*time.Minute), End: t0.Add(time.Hour),
+		Loc: locus.Between(locus.Interface, "chi-per1", "to-custB")})
+	p.Observe(event.Instance{Name: "tick", Start: t0.Add(3 * time.Hour), End: t0.Add(3 * time.Hour),
+		Loc: locus.At(locus.Router, "nyc-cr1")})
+
+	// The symptom itself shows up hours later (delayed feed).
+	out, late := p.Observe(event.Instance{Name: event.EBGPFlap,
+		Start: t0.Add(time.Hour), End: t0.Add(time.Hour + time.Minute), Loc: adj})
+	if !late {
+		t.Fatal("delayed symptom not marked late")
+	}
+	if len(out) != 1 {
+		t.Fatalf("late symptom diagnoses = %d, want immediate diagnosis", len(out))
+	}
+	if out[0].Primary() != event.InterfaceFlap {
+		t.Errorf("late symptom primary = %q, want interface flap", out[0].Primary())
+	}
+}
+
+// TestBackpressureBound: with MaxPending set, a symptom storm forces the
+// oldest pending symptoms out early instead of growing the queue.
+func TestBackpressureBound(t *testing.T) {
+	n := testnet.Build(t.Fatalf)
+	p := New(n.View, miniGraph(t), time.Hour)
+	p.MaxPending = 2
+	t0 := testnet.T0
+	ifc, _ := n.Topo.InterfaceByName("chi-per1", "to-custB")
+	adj := locus.Between(locus.RouterNeighbor, "chi-per1", ifc.PeerIP.String())
+
+	var got []engine.Diagnosis
+	for i := 0; i < 5; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		out, _ := p.Observe(event.Instance{Name: event.EBGPFlap, Start: at, End: at, Loc: adj})
+		got = append(got, out...)
+	}
+	if p.Pending() != 2 {
+		t.Errorf("Pending = %d, want bound 2", p.Pending())
+	}
+	if p.Forced() != 3 || len(got) != 3 {
+		t.Errorf("Forced = %d, drained = %d, want 3 forced diagnoses", p.Forced(), len(got))
+	}
+	// Forced diagnoses pop oldest-first.
+	if !got[0].Symptom.Start.Equal(t0) {
+		t.Errorf("first forced symptom at %v, want oldest", got[0].Symptom.Start)
+	}
+	rest := p.Flush()
+	if len(rest) != 2 || p.Pending() != 0 {
+		t.Errorf("flush = %d pending = %d", len(rest), p.Pending())
 	}
 }
 

@@ -89,7 +89,7 @@ func allocate(total int, fracs []float64) []int {
 }
 
 func (d *Dataset) truth(study, kind string, at time.Time, where string) {
-	d.Truth = append(d.Truth, Truth{Study: study, Kind: kind, At: at, Where: where})
+	d.Truth = append(d.Truth, Truth{ID: len(d.Truth), Study: study, Kind: kind, At: at, Where: where})
 }
 
 // sessionWhere renders the location key of a session's eBGP symptom.

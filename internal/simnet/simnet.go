@@ -118,6 +118,10 @@ func (c *Config) defaults() {
 
 // Truth is the ground-truth label for one injected symptom incident.
 type Truth struct {
+	// ID numbers the incident in injection order — a stable handle for
+	// accuracy scorers and chaos reports to reference individual
+	// incidents deterministically.
+	ID int
 	// Study is "bgp", "cdn", or "pim".
 	Study string
 	// Kind is the injected root cause label (e.g. "interface flap",

@@ -193,16 +193,18 @@ func (s *Store) QueryAt(name string, from, to time.Time, loc locus.Location) []*
 
 // sortIfDirty re-sorts an index that received out-of-order inserts. The
 // caller holds the read lock; the upgrade re-checks under the write lock.
+// It loops because a writer can slip in between the Unlock and the RLock
+// re-acquisition and dirty the index again — returning then would let the
+// caller binary-search an unsorted slice.
 func (s *Store) sortIfDirty(idx *nameIndex) {
-	if !idx.dirty {
-		return
+	for idx.dirty {
+		mLazyResorts.Inc()
+		s.mu.RUnlock()
+		s.mu.Lock()
+		idx.ensureSorted()
+		s.mu.Unlock()
+		s.mu.RLock()
 	}
-	mLazyResorts.Inc()
-	s.mu.RUnlock()
-	s.mu.Lock()
-	idx.ensureSorted()
-	s.mu.Unlock()
-	s.mu.RLock()
 }
 
 // All returns every instance of the named event ordered by start time.

@@ -2,6 +2,9 @@ package store
 
 import (
 	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -214,5 +217,101 @@ func TestConcurrentAccess(t *testing.T) {
 	<-done
 	if s.Count("e") != 500 {
 		t.Errorf("Count after concurrent writes = %d", s.Count("e"))
+	}
+}
+
+// TestShuffledInsertEquivalence is the chaos-ingestion property: Query and
+// All results are identical whether records were inserted in order or in a
+// shuffled order (forcing the dirty/ensureSorted path on every read).
+// Instances are compared by value — IDs reflect insertion order and are
+// expected to differ.
+func TestShuffledInsertEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var ins []event.Instance
+		for i := 0; i < 300; i++ {
+			in := mk("e", 0, 0, locus.At(locus.Router, "r"))
+			// Distinct starts keep the comparison exact: ties have no
+			// defined relative order across insertion orders.
+			in.Start = t0.Add(time.Duration(i*7+rng.Intn(7)) * time.Second)
+			in.End = in.Start.Add(time.Duration(rng.Intn(600)) * time.Second)
+			ins = append(ins, in)
+		}
+		ordered, shuffled := New(), New()
+		sorted := append([]event.Instance(nil), ins...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start.Before(sorted[j].Start) })
+		ordered.AddAll(sorted)
+		perm := rng.Perm(len(ins))
+		for _, i := range perm {
+			shuffled.Add(ins[i])
+		}
+		same := func(a, b []*event.Instance) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for i := range a {
+				if !a[i].Start.Equal(b[i].Start) || !a[i].End.Equal(b[i].End) ||
+					a[i].Name != b[i].Name || a[i].Loc != b[i].Loc {
+					return false
+				}
+			}
+			return true
+		}
+		if !same(ordered.All("e"), shuffled.All("e")) {
+			return false
+		}
+		for trial := 0; trial < 30; trial++ {
+			from := t0.Add(time.Duration(rng.Intn(2500)) * time.Second)
+			to := from.Add(time.Duration(rng.Intn(900)) * time.Second)
+			if !same(ordered.Query("e", from, to), shuffled.Query("e", from, to)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentOutOfOrderAddQuery hammers the lazy re-sort path: writers
+// insert in reverse time order (every Add dirties the index) while readers
+// query concurrently. Every query result must be sorted — the re-sort loop
+// in sortIfDirty may not return while the index is dirty. Run with -race.
+func TestConcurrentOutOfOrderAddQuery(t *testing.T) {
+	s := New()
+	loc := locus.At(locus.Router, "r")
+	const writers, perWriter = 4, 400
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := perWriter; i > 0; i-- {
+				s.Add(mk("e", i*writers+w, 1, loc))
+			}
+		}(w)
+	}
+	readDone := make(chan struct{})
+	var sortViolation atomic.Bool
+	go func() {
+		defer close(readDone)
+		for i := 0; i < 2000; i++ {
+			got := s.Query("e", t0, t0.Add(100*time.Hour))
+			for j := 1; j < len(got); j++ {
+				if got[j-1].Start.After(got[j].Start) {
+					sortViolation.Store(true)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-readDone
+	if sortViolation.Load() {
+		t.Fatal("Query returned unsorted results during concurrent out-of-order Adds")
+	}
+	if got := s.Count("e"); got != writers*perWriter {
+		t.Errorf("Count = %d, want %d", got, writers*perWriter)
 	}
 }
