@@ -414,9 +414,24 @@ func benchLatencyTracing(b *testing.B, c *corpus, newEngine func(*store.Store, *
 	if len(symptoms) == 0 {
 		b.Fatal("no symptoms")
 	}
+	hits := obs.GetCounter("engine.expand.cache.hits")
+	misses := obs.GetCounter("engine.expand.cache.misses")
+	h0, m0 := hits.Value(), misses.Value()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng.Diagnose(symptoms[i%len(symptoms)])
+	}
+	b.StopTimer()
+	// The shared spatial cache is the load-bearing optimization here: report
+	// its effectiveness and fail the benchmark outright if repeated
+	// diagnoses stop sharing expansions (dh+dm == 0 means the registry is
+	// gated off, as in the ObsOff variant).
+	dh, dm := hits.Value()-h0, misses.Value()-m0
+	if dh+dm > 0 {
+		b.ReportMetric(float64(dh)/float64(dh+dm), "expand-hit-ratio")
+	}
+	if b.N >= 2 && dh == 0 && dm > 0 {
+		b.Fatalf("expand cache recorded no hits across %d diagnoses (%d misses)", b.N, dm)
 	}
 }
 

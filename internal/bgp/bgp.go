@@ -15,9 +15,23 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"grca/internal/obs"
 	"grca/internal/ospf"
+)
+
+// Best-path-memo metrics: decision-process emulation is the interdomain
+// half of the route computation that dominates CDN diagnosis latency
+// (§III-B.2); the hit ratios show how much of it the routing-epoch cache
+// absorbs.
+var (
+	mLookupHits   = obs.GetCounter("bgp.lookup.cache.hits")
+	mLookupMisses = obs.GetCounter("bgp.lookup.cache.misses")
+	mBestHits     = obs.GetCounter("bgp.bestpath.cache.hits")
+	mBestMisses   = obs.GetCounter("bgp.bestpath.cache.misses")
 )
 
 // Route is one reflector-learned path to an external prefix, already
@@ -54,12 +68,120 @@ func (tl *timeline) at(t time.Time) (Route, bool) {
 	return e.route, true
 }
 
-// Sim is the BGP route-history simulator.
+// Sim is the BGP route-history simulator. Like ospf.Sim it is safe for
+// concurrent readers once all updates have been recorded, and memoizes its
+// two expensive read paths — longest-prefix lookup and best-path selection
+// — per routing epoch so the work is shared across diagnoses.
 type Sim struct {
 	ospf     *ospf.Sim
 	prefixes map[netip.Prefix]map[string]*timeline // prefix → egress → timeline
 	updates  []Update                              // global ordered update feed
+
+	// epochs holds the distinct update instants in time order; between two
+	// consecutive instants the RIB — and thus Lookup and Candidates — is
+	// constant. Best-path selection additionally depends on the OSPF epoch
+	// through the hot-potato tie-break, so bestKey carries both.
+	epochs []time.Time
+	gen    atomic.Int64
+	memo   atomic.Pointer[bgpTable]
 }
+
+// lookupKey identifies one memoized longest-prefix match.
+type lookupKey struct {
+	addr  netip.Addr
+	epoch int
+}
+
+// bestKey identifies one memoized decision-process emulation. The OSPF
+// epoch is part of the key because an intradomain weight change can move
+// the hot-potato tie-break without any BGP update.
+type bestKey struct {
+	ingress   string
+	prefix    netip.Prefix
+	epoch     int // BGP epoch
+	ospfEpoch int
+}
+
+type lookupVal struct {
+	pfx netip.Prefix
+	ok  bool
+}
+
+type bestVal struct {
+	route Route
+	err   error
+}
+
+const bgpShards = 16 // power of two
+
+func (k lookupKey) shard() int {
+	h := uint32(2166136261)
+	for _, b := range k.addr.As16() {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	h = (h ^ uint32(k.epoch)) * 16777619
+	return int(h & (bgpShards - 1))
+}
+
+func (k bestKey) shard() int {
+	h := uint32(2166136261)
+	for i := 0; i < len(k.ingress); i++ {
+		h = (h ^ uint32(k.ingress[i])) * 16777619
+	}
+	for _, b := range k.prefix.Addr().As16() {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	h = (h ^ uint32(k.prefix.Bits())) * 16777619
+	h = (h ^ uint32(k.epoch)) * 16777619
+	h = (h ^ uint32(k.ospfEpoch)) * 16777619
+	return int(h & (bgpShards - 1))
+}
+
+type bgpShard struct {
+	mu     sync.RWMutex
+	lookup map[lookupKey]lookupVal
+	best   map[bestKey]bestVal
+}
+
+// bgpTable is one generation of the memo; it is discarded whenever either
+// the BGP update feed or the OSPF change log grows.
+type bgpTable struct {
+	gen     int64
+	ospfGen int64
+	shards  [bgpShards]bgpShard
+}
+
+func (s *Sim) table() *bgpTable {
+	gen, ogen := s.gen.Load(), s.ospf.Generation()
+	for {
+		t := s.memo.Load()
+		if t != nil && t.gen == gen && t.ospfGen == ogen {
+			return t
+		}
+		nt := &bgpTable{gen: gen, ospfGen: ogen}
+		for i := range nt.shards {
+			nt.shards[i].lookup = map[lookupKey]lookupVal{}
+			nt.shards[i].best = map[bestKey]bestVal{}
+		}
+		if s.memo.CompareAndSwap(t, nt) {
+			return nt
+		}
+	}
+}
+
+// EpochAt returns the interdomain routing epoch of time t: the number of
+// recorded update instants at or before t. The RIB is identical for any
+// two instants in the same epoch.
+func (s *Sim) EpochAt(t time.Time) int {
+	return sort.Search(len(s.epochs), func(i int) bool { return s.epochs[i].After(t) })
+}
+
+// Epochs returns the number of distinct update instants recorded.
+func (s *Sim) Epochs() int { return len(s.epochs) }
+
+// Generation returns a counter incremented on every recorded update; see
+// ospf.Sim.Generation.
+func (s *Sim) Generation() int64 { return s.gen.Load() }
 
 // Update is one observed reflector update, the unit of the BGP monitor feed.
 type Update struct {
@@ -106,6 +228,15 @@ func (s *Sim) record(at time.Time, r Route, withdraw bool) error {
 	}
 	tl.entries = append(tl.entries, ribEntry{at: at, withdrawn: withdraw, route: r})
 	s.updates = append(s.updates, Update{At: at, Withdraw: withdraw, Route: r})
+	// Maintain sorted, distinct epoch boundaries (updates to different
+	// prefixes may interleave in time).
+	i := sort.Search(len(s.epochs), func(i int) bool { return !s.epochs[i].Before(at) })
+	if i == len(s.epochs) || !s.epochs[i].Equal(at) {
+		s.epochs = append(s.epochs, time.Time{})
+		copy(s.epochs[i+1:], s.epochs[i:])
+		s.epochs[i] = at
+	}
+	s.gen.Add(1)
 	return nil
 }
 
@@ -115,8 +246,28 @@ func (s *Sim) Updates() []Update { return s.updates }
 
 // Lookup performs the longest-prefix match over all prefixes that have at
 // least one active route at time t, as the paper does against historical
-// BGP table data.
+// BGP table data. The scan over the prefix table is memoized per
+// (address, epoch).
 func (s *Sim) Lookup(ip netip.Addr, t time.Time) (netip.Prefix, bool) {
+	k := lookupKey{addr: ip, epoch: s.EpochAt(t)}
+	tab := s.table()
+	sh := &tab.shards[k.shard()]
+	sh.mu.RLock()
+	v, ok := sh.lookup[k]
+	sh.mu.RUnlock()
+	if ok {
+		mLookupHits.Inc()
+		return v.pfx, v.ok
+	}
+	mLookupMisses.Inc()
+	pfx, found := s.lookup(ip, t)
+	sh.mu.Lock()
+	sh.lookup[k] = lookupVal{pfx: pfx, ok: found}
+	sh.mu.Unlock()
+	return pfx, found
+}
+
+func (s *Sim) lookup(ip netip.Addr, t time.Time) (netip.Prefix, bool) {
 	best := netip.Prefix{}
 	found := false
 	for pfx, egresses := range s.prefixes {
@@ -180,12 +331,36 @@ func (s *Sim) better(a, b Route, ingress string, t time.Time) bool {
 }
 
 // BestEgress emulates the decision process at ingress for traffic to ip at
-// time t and returns the selected route.
+// time t and returns the selected route. The selection is memoized per
+// (ingress, prefix, BGP epoch, OSPF epoch): candidates are fixed within a
+// BGP epoch and the hot-potato distances within an OSPF epoch, so the
+// emulation runs once per epoch pair no matter how many diagnoses ask.
+// A memoized error is returned verbatim, so its message names the first
+// instant queried in the epoch rather than t.
 func (s *Sim) BestEgress(ingress string, ip netip.Addr, t time.Time) (Route, error) {
 	pfx, ok := s.Lookup(ip, t)
 	if !ok {
 		return Route{}, fmt.Errorf("bgp: no route to %v at %v", ip, t)
 	}
+	k := bestKey{ingress: ingress, prefix: pfx, epoch: s.EpochAt(t), ospfEpoch: s.ospf.EpochAt(t)}
+	tab := s.table()
+	sh := &tab.shards[k.shard()]
+	sh.mu.RLock()
+	v, hit := sh.best[k]
+	sh.mu.RUnlock()
+	if hit {
+		mBestHits.Inc()
+		return v.route, v.err
+	}
+	mBestMisses.Inc()
+	route, err := s.bestEgress(ingress, pfx, t)
+	sh.mu.Lock()
+	sh.best[k] = bestVal{route: route, err: err}
+	sh.mu.Unlock()
+	return route, err
+}
+
+func (s *Sim) bestEgress(ingress string, pfx netip.Prefix, t time.Time) (Route, error) {
 	cands := s.Candidates(pfx, t)
 	if len(cands) == 0 {
 		return Route{}, fmt.Errorf("bgp: prefix %v has no active route at %v", pfx, t)

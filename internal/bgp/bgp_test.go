@@ -203,3 +203,67 @@ func TestBestEgressNoRoute(t *testing.T) {
 		t.Error("BestEgress with empty RIB should fail")
 	}
 }
+
+// TestEpochsAndBestPathMemo pins the interdomain half of the
+// routing-epoch contract: EpochAt counts update instants, and the
+// memoized BestEgress stays correct when either its BGP inputs change
+// (withdraw) or only the OSPF hot-potato input changes (weight change
+// with no BGP update at all).
+func TestEpochsAndBestPathMemo(t *testing.T) {
+	_, osim := line(t)
+	s := New(osim)
+	pfx := netip.MustParsePrefix("198.51.100.0/24")
+	dst := netip.MustParseAddr("198.51.100.9")
+	ann := func(at time.Time, egress string) {
+		t.Helper()
+		if err := s.Announce(at, Route{Prefix: pfx, Egress: egress, LocalPref: 100, ASPathLen: 3}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ann(t0, "a")
+	ann(t0, "c")
+	if s.Epochs() != 1 || s.EpochAt(t0) != 1 || s.EpochAt(t0.Add(-time.Second)) != 0 {
+		t.Fatalf("epochs after two same-instant announcements: %d, EpochAt(t0)=%d", s.Epochs(), s.EpochAt(t0))
+	}
+	// Hot potato from b: a and c are both at distance 10, so the
+	// deterministic name tie-break picks a. Query twice so the second
+	// answer comes from the memo.
+	for i := 0; i < 2; i++ {
+		r, err := s.BestEgress("b", dst, t0.Add(time.Minute))
+		if err != nil || r.Egress != "a" {
+			t.Fatalf("query %d: best egress = %+v, %v; want a", i, r, err)
+		}
+	}
+	// An OSPF-only change moves the tie-break without any BGP update: the
+	// memo must not serve the pre-change selection at post-change instants.
+	if err := osim.SetWeight(t0.Add(2*time.Minute), "ab", 50); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := s.BestEgress("b", dst, t0.Add(time.Minute)); r.Egress != "a" {
+		t.Fatalf("pre-change instant after weight change: egress = %s, want a", r.Egress)
+	}
+	if r, _ := s.BestEgress("b", dst, t0.Add(3*time.Minute)); r.Egress != "c" {
+		t.Fatalf("post-change instant: egress = %s, want c (ab costed to 50)", r.Egress)
+	}
+	// A withdraw opens a new BGP epoch; cached pre-withdraw selections
+	// must not leak past it.
+	if err := s.Withdraw(t0.Add(4*time.Minute), pfx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := s.BestEgress("b", dst, t0.Add(5*time.Minute)); r.Egress != "a" {
+		t.Fatalf("post-withdraw: egress = %s, want a (c withdrawn)", r.Egress)
+	}
+	if s.EpochAt(t0.Add(5*time.Minute)) != 2 {
+		t.Fatalf("EpochAt after withdraw = %d, want 2", s.EpochAt(t0.Add(5*time.Minute)))
+	}
+	// Lookup memo: after every egress withdraws, the prefix stops matching.
+	if err := s.Withdraw(t0.Add(6*time.Minute), pfx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Lookup(dst, t0.Add(7*time.Minute)); ok {
+		t.Fatal("Lookup matched a fully-withdrawn prefix")
+	}
+	if _, ok := s.Lookup(dst, t0.Add(5*time.Minute)); !ok {
+		t.Fatal("Lookup missed the prefix at a pre-withdraw instant")
+	}
+}

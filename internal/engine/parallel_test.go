@@ -7,6 +7,7 @@ import (
 
 	"grca/internal/event"
 	"grca/internal/locus"
+	"grca/internal/ospf"
 )
 
 // TestParallelMatchesSerial: parallel diagnosis must produce identical
@@ -92,6 +93,75 @@ func TestParallelDeterminism(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestSharedCacheDeterminism: diagnoses must be byte-identical — labels,
+// causes down to instance IDs, and warnings — with the process-wide
+// spatial cache enabled vs disabled, and across worker counts 1/2/8. The
+// fixture records weight changes so the corpus spans several routing
+// epochs and both cache layers (SPF memo, expansion cache) are exercised
+// across epoch boundaries.
+func TestSharedCacheDeterminism(t *testing.T) {
+	f := newFixture(t)
+	// Weight churn creating distinct routing epochs mid-corpus.
+	for i, w := range []int{50, 5, 80, 5} {
+		if err := f.net.OSPF.SetWeight(f.at(3000+i*3000), "chi-up1", w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.add(event.InterfaceFlap, 900, 1, f.ifLoc)
+	f.add(event.CPUHighSpike, 2980, 30, locus.At(locus.Router, "chi-per1"))
+	f.add(event.CustomerResetSession, 5000, 1, f.adjLoc)
+	f.add(event.SONETRestoration, 8998, 2, locus.At(locus.Layer1Device, "sonet-chi-per1-a"))
+	f.add(event.InterfaceFlap, 9000, 1, f.ifLoc)
+	for i := 0; i < 60; i++ {
+		f.symptom(800 + i*300)
+	}
+	f.eng.noShared = true
+	base := f.eng.DiagnoseAll()
+	f.eng.noShared = false
+	want := make([]string, len(base))
+	for i, d := range base {
+		want[i] = causeSig(d)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		par := f.eng.DiagnoseAllParallel(workers)
+		if len(par) != len(base) {
+			t.Fatalf("workers=%d: %d diagnoses, want %d", workers, len(par), len(base))
+		}
+		for i := range par {
+			if par[i].Symptom.ID != base[i].Symptom.ID {
+				t.Fatalf("workers=%d: symptom order diverged at %d", workers, i)
+			}
+			if got := causeSig(par[i]); got != want[i] {
+				t.Errorf("cache on, workers=%d, diagnosis %d:\n got %s\nwant %s", workers, i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestSharedCacheInvalidatedByIngest: recording a routing change between
+// diagnoses must invalidate the shared cache — the next diagnosis answers
+// against the new network condition, identically to a cache-free engine.
+func TestSharedCacheInvalidatedByIngest(t *testing.T) {
+	f := newFixture(t)
+	f.add(event.InterfaceFlap, 900, 1, f.ifLoc)
+	sym := f.symptom(1000)
+	before := f.eng.Diagnose(sym) // fills the cache at generation g
+	// Cost out the customer attachment *at an earlier instant*: epoch
+	// numbering shifts, so stale entries must not be reused.
+	if err := f.net.OSPF.SetWeight(f.at(500), "custB-att", ospf.Infinity); err != nil {
+		t.Fatal(err)
+	}
+	after := f.eng.Diagnose(sym)
+	f.eng.noShared = true
+	fresh := f.eng.Diagnose(sym)
+	f.eng.noShared = false
+	if causeSig(after) != causeSig(fresh) {
+		t.Errorf("post-ingest diagnosis diverged from cache-free engine:\n got %s\nwant %s",
+			causeSig(after), causeSig(fresh))
+	}
+	_ = before
 }
 
 func TestParallelEmptyStore(t *testing.T) {

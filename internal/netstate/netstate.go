@@ -46,6 +46,32 @@ type View struct {
 	clientIngr   map[string]string     // agent/source → ingress router, when known from config
 }
 
+// Epoch identifies an equivalence class of instants for spatial
+// expansion: the topology is static, so Expand(loc, level, t) depends on t
+// only through the OSPF weight state and the BGP RIB. Two instants with
+// equal Epochs yield provably identical expansions for every location and
+// level, which is what lets expansion results be cached process-wide and
+// shared across diagnoses (see EpochAt and internal/engine's spatial
+// cache).
+type Epoch struct {
+	OSPF int
+	BGP  int
+}
+
+// EpochAt returns the composed routing epoch of time t.
+func (v *View) EpochAt(t time.Time) Epoch {
+	return Epoch{OSPF: v.OSPF.EpochAt(t), BGP: v.BGP.EpochAt(t)}
+}
+
+// Generations returns the change-log generation counters of the two
+// routing substrates. Epoch-keyed caches over this view store both and
+// rebuild when either moves — epoch numbering is only stable while the
+// change logs are append-quiescent (the normal ingest-then-diagnose
+// phasing).
+func (v *View) Generations() (ospf, bgp int64) {
+	return v.OSPF.Generation(), v.BGP.Generation()
+}
+
 // NewView assembles a view over the three routing/topology substrates.
 func NewView(topo *netmodel.Topology, o *ospf.Sim, b *bgp.Sim) *View {
 	return &View{

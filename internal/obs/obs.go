@@ -439,6 +439,13 @@ func WriteText(w io.Writer, s Snapshot) error {
 			fmt.Fprintf(w, "  %-44s %12d\n", n, s.Counters[n])
 		}
 	}
+	if ratios := CacheRatios(s); len(ratios) > 0 {
+		fmt.Fprintf(w, "cache hit ratios:\n")
+		for _, r := range ratios {
+			fmt.Fprintf(w, "  %-44s %11.1f%%  (%d/%d)\n",
+				r.Name, 100*r.Ratio, r.Hits, r.Hits+r.Misses)
+		}
+	}
 	if len(s.Gauges) > 0 {
 		fmt.Fprintf(w, "gauges:\n")
 		for _, n := range names(s.Gauges) {
@@ -466,6 +473,37 @@ func WriteText(w io.Writer, s Snapshot) error {
 		}
 	}
 	return nil
+}
+
+// CacheRatio is one derived cache effectiveness figure: Name is the
+// counter prefix (e.g. "engine.expand.cache"), Ratio is hits/(hits+misses).
+type CacheRatio struct {
+	Name         string
+	Hits, Misses int64
+	Ratio        float64
+}
+
+// CacheRatios derives hit ratios from every counter pair named
+// "<layer>.cache.hits" / "<layer>.cache.misses" in the snapshot, sorted by
+// name. Pairs that never fired are omitted.
+func CacheRatios(s Snapshot) []CacheRatio {
+	var out []CacheRatio
+	for name, hits := range s.Counters {
+		base, found := strings.CutSuffix(name, ".hits")
+		if !found || !strings.HasSuffix(base, ".cache") {
+			continue
+		}
+		misses, ok := s.Counters[base+".misses"]
+		if !ok || hits+misses == 0 {
+			continue
+		}
+		out = append(out, CacheRatio{
+			Name: base, Hits: hits, Misses: misses,
+			Ratio: float64(hits) / float64(hits+misses),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // formatSeconds renders a seconds value as a rounded time.Duration.

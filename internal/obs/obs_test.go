@@ -186,3 +186,36 @@ func TestRegistrySnapshotAndText(t *testing.T) {
 		}
 	}
 }
+
+func TestCacheRatios(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("engine.expand.cache.hits").Add(30)
+	r.Counter("engine.expand.cache.misses").Add(10)
+	r.Counter("ospf.spf.cache.hits").Add(0)
+	r.Counter("ospf.spf.cache.misses").Add(5)
+	r.Counter("bgp.bestpath.cache.hits").Add(7) // no .misses pair: skipped
+	r.Counter("collector.lines.hits").Add(3)    // not a .cache counter: skipped
+	r.Counter("idle.cache.hits").Add(0)         // never fired: skipped
+	r.Counter("idle.cache.misses").Add(0)
+	got := CacheRatios(r.Snapshot())
+	want := []CacheRatio{
+		{Name: "engine.expand.cache", Hits: 30, Misses: 10, Ratio: 0.75},
+		{Name: "ospf.spf.cache", Hits: 0, Misses: 5, Ratio: 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("CacheRatios = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ratio %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	var b strings.Builder
+	if err := WriteText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "cache hit ratios:") || !strings.Contains(out, "75.0%") {
+		t.Errorf("text output missing cache ratio section:\n%s", out)
+	}
+}

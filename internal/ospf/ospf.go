@@ -17,9 +17,20 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"grca/internal/netmodel"
+	"grca/internal/obs"
+)
+
+// SPF-memo metrics: the Dijkstra runs behind Distance/Elements/Paths
+// dominate routed expansions (§III-B.2), so the hit ratio here is the
+// first read on whether the routing-epoch cache is doing its job.
+var (
+	mSPFHits   = obs.GetCounter("ospf.spf.cache.hits")
+	mSPFMisses = obs.GetCounter("ospf.spf.cache.misses")
 )
 
 // Infinity is the link metric representing a costed-out or down link
@@ -41,14 +52,99 @@ type weightPoint struct {
 }
 
 // Sim is the OSPF routing simulator. It is safe for concurrent readers
-// once all weight changes have been recorded.
+// once all weight changes have been recorded; the SPF memo below makes the
+// read path cheap enough to share across every diagnosis in the process.
 type Sim struct {
 	topo *netmodel.Topology
 	base map[string]int                     // link → weight at the beginning of time
 	hist map[string][]weightPoint           // link → sorted weight timeline
 	log  []WeightChange                     // global ordered change feed
 	adj  map[string][]*netmodel.LogicalLink // router → incident internal links
+
+	// epochs holds the distinct weight-change instants in time order; the
+	// open interval between two consecutive instants is one routing epoch,
+	// within which every SPF answer is provably constant (see EpochAt).
+	epochs []time.Time
+	// gen counts recorded changes; epoch-keyed caches compare it to detect
+	// ingestion after they were filled and rebuild themselves.
+	gen atomic.Int64
+	// spf memoizes Dijkstra distance maps per (src, epoch); the pointer is
+	// swapped wholesale when gen moves, so readers never see a stale mix.
+	spf atomic.Pointer[spfTable]
 }
+
+// spfKey identifies one memoized single-source shortest-path run.
+type spfKey struct {
+	src   string
+	epoch int
+}
+
+const spfShards = 16 // power of two; see spfKey.shard
+
+// shard hashes the key (FNV-1a over the source name and epoch) so that
+// concurrent diagnosis workers spread across stripe locks.
+func (k spfKey) shard() int {
+	h := uint32(2166136261)
+	for i := 0; i < len(k.src); i++ {
+		h = (h ^ uint32(k.src[i])) * 16777619
+	}
+	h = (h ^ uint32(k.epoch)) * 16777619
+	return int(h & (spfShards - 1))
+}
+
+type spfShard struct {
+	mu sync.RWMutex
+	m  map[spfKey]map[string]int
+}
+
+// spfTable is one generation of the SPF memo. It is immutable in shape:
+// shards fill under their stripe locks, and the whole table is discarded
+// when the change log grows (gen mismatch).
+type spfTable struct {
+	gen    int64
+	shards [spfShards]spfShard
+}
+
+// table returns the memo for the current generation, atomically replacing
+// a stale one. Losing a CAS race is harmless: both tables are empty and
+// the winner is adopted by every subsequent reader.
+func (s *Sim) table() *spfTable {
+	gen := s.gen.Load()
+	for {
+		t := s.spf.Load()
+		if t != nil && t.gen == gen {
+			return t
+		}
+		nt := &spfTable{gen: gen}
+		for i := range nt.shards {
+			nt.shards[i].m = map[spfKey]map[string]int{}
+		}
+		if s.spf.CompareAndSwap(t, nt) {
+			return nt
+		}
+	}
+}
+
+// EpochAt returns the routing epoch of time t: the number of recorded
+// weight-change instants at or before t. Every link weight — and
+// therefore every Distance/Elements/Paths answer — is identical for any
+// two instants in the same epoch, which is what lets SPF results and
+// spatial expansions be shared across diagnoses keyed by epoch instead of
+// by timestamp.
+func (s *Sim) EpochAt(t time.Time) int {
+	return sort.Search(len(s.epochs), func(i int) bool { return s.epochs[i].After(t) })
+}
+
+// Epochs returns the number of routing epochs recorded so far (the number
+// of distinct change instants plus the implicit epoch 0 before any change
+// is len+1; this returns the count of boundaries).
+func (s *Sim) Epochs() int { return len(s.epochs) }
+
+// Generation returns a counter incremented on every recorded weight
+// change. Caches keyed by epoch store the generation they were built
+// against and rebuild when it moves, so an ingest-after-diagnose sequence
+// stays correct even though the normal phasing is ingest-then-diagnose.
+func (s *Sim) Generation() int64 { return s.gen.Load() }
 
 // New creates a simulator over topo with the given initial link weights.
 // Links not present in weights default to a metric of DefaultMetric.
@@ -95,6 +191,16 @@ func (s *Sim) SetWeight(at time.Time, id string, w int) error {
 	}
 	s.hist[id] = append(tl, weightPoint{at: at, w: w})
 	s.log = append(s.log, WeightChange{At: at, LinkID: id, Old: old, New: w})
+	// Maintain the sorted, distinct epoch boundaries. Per-link ordering is
+	// enforced above, but changes to different links may interleave in
+	// time, so insert rather than append.
+	i := sort.Search(len(s.epochs), func(i int) bool { return !s.epochs[i].Before(at) })
+	if i == len(s.epochs) || !s.epochs[i].Equal(at) {
+		s.epochs = append(s.epochs, time.Time{})
+		copy(s.epochs[i+1:], s.epochs[i:])
+		s.epochs[i] = at
+	}
+	s.gen.Add(1)
 	return nil
 }
 
@@ -132,9 +238,34 @@ func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
 func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
 func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
 
-// distances runs Dijkstra from src over the internal topology at time t and
-// returns the distance map. Customer routers do not participate in the IGP.
+// distances returns the Dijkstra distance map from src at time t, memoized
+// per (src, epoch): within one routing epoch every weight is constant, so
+// the first caller computes and every other query — across goroutines,
+// diagnoses, and the BGP hot-potato tie-break — shares the result. The
+// returned map is shared and must be treated as read-only.
 func (s *Sim) distances(src string, t time.Time) map[string]int {
+	k := spfKey{src: src, epoch: s.EpochAt(t)}
+	tab := s.table()
+	sh := &tab.shards[k.shard()]
+	sh.mu.RLock()
+	d, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		mSPFHits.Inc()
+		return d
+	}
+	mSPFMisses.Inc()
+	d = s.computeDistances(src, t)
+	sh.mu.Lock()
+	sh.m[k] = d
+	sh.mu.Unlock()
+	return d
+}
+
+// computeDistances runs Dijkstra from src over the internal topology at
+// time t and returns the distance map. Customer routers do not participate
+// in the IGP.
+func (s *Sim) computeDistances(src string, t time.Time) map[string]int {
 	dist := map[string]int{src: 0}
 	q := &pq{{node: src, dist: 0}}
 	for q.Len() > 0 {

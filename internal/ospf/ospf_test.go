@@ -296,3 +296,65 @@ func TestDefaultMetric(t *testing.T) {
 		t.Errorf("unknown link weight = %d, want Infinity", w)
 	}
 }
+
+// TestEpochsAndSPFMemo pins the routing-epoch contract: EpochAt counts the
+// distinct change instants at or before t, no-op refreshes do not open a
+// new epoch, and the memoized SPF layer answers identically before and
+// after cache fills — including after a change recorded *earlier* than
+// already-cached epochs shifts the numbering (generation invalidation).
+func TestEpochsAndSPFMemo(t *testing.T) {
+	_, s := diamond(t)
+	if got := s.EpochAt(t0); got != 0 {
+		t.Fatalf("EpochAt before any change = %d, want 0", got)
+	}
+	if err := s.SetWeight(t0.Add(100*time.Second), "bd", 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetWeight(t0.Add(200*time.Second), "bd", 10); err != nil {
+		t.Fatal(err)
+	}
+	// Refresh with the identical weight: no new epoch, no new generation.
+	gen := s.Generation()
+	if err := s.SetWeight(t0.Add(300*time.Second), "bd", 10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() != gen || s.Epochs() != 2 {
+		t.Fatalf("no-op refresh changed epochs/gen: epochs=%d gen=%d", s.Epochs(), s.Generation())
+	}
+	for _, c := range []struct {
+		at   time.Duration
+		want int
+	}{
+		{0, 0}, {99 * time.Second, 0}, {100 * time.Second, 1},
+		{150 * time.Second, 1}, {200 * time.Second, 2}, {10 * time.Hour, 2},
+	} {
+		if got := s.EpochAt(t0.Add(c.at)); got != c.want {
+			t.Errorf("EpochAt(t0+%v) = %d, want %d", c.at, got, c.want)
+		}
+	}
+	// Memoized answers: repeated queries in one epoch hit the cache and
+	// agree; queries in the costed-out epoch see the detour.
+	if d := s.Distance("a", "d", t0.Add(50*time.Second)); d != 20 {
+		t.Fatalf("pre-change distance = %d, want 20 (ECMP)", d)
+	}
+	if d := s.Distance("a", "d", t0.Add(150*time.Second)); d != 20 {
+		t.Fatalf("mid-epoch distance = %d, want 20 via c", d)
+	}
+	if d := s.Distance("a", "d", t0.Add(60*time.Second)); d != 20 {
+		t.Fatalf("cached re-query = %d, want 20", d)
+	}
+	// A change recorded before the cached instants shifts every epoch
+	// number; the memo must rebuild rather than serve stale distances.
+	if err := s.SetWeight(t0.Add(40*time.Second), "ac", 100); err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Distance("a", "d", t0.Add(150*time.Second)); d != 50 {
+		t.Fatalf("post-insert distance at 150s = %d, want 50 (bd=40, c-detour costed to 100)", d)
+	}
+	if d := s.Distance("a", "d", t0.Add(50*time.Second)); d != 20 {
+		t.Fatalf("post-insert distance at 50s = %d, want 20 (bd still 10)", d)
+	}
+	if d := s.Distance("a", "d", t0.Add(250*time.Second)); d != 20 {
+		t.Fatalf("post-insert distance at 250s = %d, want 20 (bd back to 10)", d)
+	}
+}

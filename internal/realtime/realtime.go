@@ -66,7 +66,10 @@ type Processor struct {
 
 // New builds a streaming processor. The store starts empty and fills from
 // the observed stream; view supplies the (historically reconstructed)
-// network condition exactly as in batch mode.
+// network condition exactly as in batch mode. The processor keeps one
+// engine for its lifetime, so the engine's shared spatial cache carries
+// across Observe calls: symptoms landing in an already-seen routing epoch
+// reuse the expansions computed for earlier symptoms.
 func New(view *netstate.View, g *dgraph.Graph, grace time.Duration) *Processor {
 	st := store.New()
 	return &Processor{Grace: grace, eng: engine.New(st, view, g), st: st}

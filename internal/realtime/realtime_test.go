@@ -10,6 +10,7 @@ import (
 	"grca/internal/engine"
 	"grca/internal/event"
 	"grca/internal/locus"
+	"grca/internal/obs"
 	"grca/internal/platform"
 	"grca/internal/simnet"
 	"grca/internal/temporal"
@@ -258,5 +259,45 @@ func TestGraceFor(t *testing.T) {
 	// A graph with no rules needs no grace.
 	if got := GraceFor(dgraph.New("root"), maxDur); got != 0 {
 		t.Errorf("empty graph grace = %v", got)
+	}
+}
+
+// TestStreamingSharesSpatialCache: the processor holds one engine for its
+// lifetime, so the shared routing-epoch expansion cache must accumulate
+// across Observe calls — the second symptom's expansions hit entries the
+// first symptom filled.
+func TestStreamingSharesSpatialCache(t *testing.T) {
+	n := testnet.Build(t.Fatalf)
+	p := New(n.View, miniGraph(t), time.Minute)
+	t0 := testnet.T0
+	ifc, _ := n.Topo.InterfaceByName("chi-per1", "to-custB")
+	adj := locus.Between(locus.RouterNeighbor, "chi-per1", ifc.PeerIP.String())
+	hits := obs.GetCounter("engine.expand.cache.hits")
+	misses := obs.GetCounter("engine.expand.cache.misses")
+
+	sym := func(at time.Duration) event.Instance {
+		return event.Instance{Name: event.EBGPFlap, Start: t0.Add(at), End: t0.Add(at + time.Minute), Loc: adj}
+	}
+	if out, _ := p.Observe(sym(time.Hour)); len(out) != 0 {
+		t.Fatalf("premature diagnosis: %v", out)
+	}
+	// Advance the clock to flush the first symptom, note the miss level,
+	// then stream a second symptom in the same routing epoch.
+	if out := p.Flush(); len(out) != 1 {
+		t.Fatalf("first flush = %d diagnoses", len(out))
+	}
+	h0, m0 := hits.Value(), misses.Value()
+	if out, _ := p.Observe(sym(2 * time.Hour)); len(out) != 0 {
+		t.Fatalf("premature diagnosis: %v", out)
+	}
+	if out := p.Flush(); len(out) != 1 {
+		t.Fatalf("second flush = %d diagnoses", len(out))
+	}
+	if misses.Value() != m0 {
+		t.Errorf("second symptom recomputed %d expansions; want all served from the shared cache",
+			misses.Value()-m0)
+	}
+	if hits.Value() == h0 {
+		t.Error("second symptom recorded no cache hits; shared cache not reused across Observe calls")
 	}
 }

@@ -48,6 +48,9 @@ type Store struct {
 	mu     sync.RWMutex
 	byName map[string]*nameIndex
 	byID   []*event.Instance
+	// first/last maintain the store-wide time span incrementally so Span
+	// is O(1) instead of a full scan under the read lock.
+	first, last time.Time
 }
 
 // New returns an empty store.
@@ -79,6 +82,12 @@ func (s *Store) addLocked(in event.Instance) *event.Instance {
 	idx.instances = append(idx.instances, stored)
 	if d := in.Duration(); d > idx.maxDur {
 		idx.maxDur = d
+	}
+	if len(s.byID) == 1 || in.Start.Before(s.first) {
+		s.first = in.Start
+	}
+	if len(s.byID) == 1 || in.End.After(s.last) {
+		s.last = in.End
 	}
 	return stored
 }
@@ -220,21 +229,13 @@ func (s *Store) All(name string) []*event.Instance {
 }
 
 // Span returns the earliest start and latest end across the whole store;
-// ok is false for an empty store.
+// ok is false for an empty store. The bounds are maintained incrementally
+// on insert, so this is O(1).
 func (s *Store) Span() (first, last time.Time, ok bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	for _, in := range s.byID {
-		if !ok {
-			first, last, ok = in.Start, in.End, true
-			continue
-		}
-		if in.Start.Before(first) {
-			first = in.Start
-		}
-		if in.End.After(last) {
-			last = in.End
-		}
+	if len(s.byID) == 0 {
+		return time.Time{}, time.Time{}, false
 	}
-	return first, last, ok
+	return s.first, s.last, true
 }

@@ -315,3 +315,27 @@ func TestConcurrentOutOfOrderAddQuery(t *testing.T) {
 		t.Errorf("Count = %d, want %d", got, writers*perWriter)
 	}
 }
+
+// TestSpanIncremental pins the O(1) Span maintenance against a brute-force
+// recomputation under out-of-order and nested-interval inserts.
+func TestSpanIncremental(t *testing.T) {
+	s := New()
+	specs := []struct{ start, dur int }{
+		{50, 10}, {10, 200}, {300, 1}, {60, 5}, {0, 2}, {100, 500}, {20, 1},
+	}
+	wantFirst, wantLast := time.Time{}, time.Time{}
+	for i, sp := range specs {
+		in := mk("ev", sp.start, sp.dur, locus.At(locus.Router, "r"))
+		if i == 0 || in.Start.Before(wantFirst) {
+			wantFirst = in.Start
+		}
+		if i == 0 || in.End.After(wantLast) {
+			wantLast = in.End
+		}
+		s.Add(in)
+		first, last, ok := s.Span()
+		if !ok || !first.Equal(wantFirst) || !last.Equal(wantLast) {
+			t.Fatalf("after %d adds: Span = %v..%v %v, want %v..%v", i+1, first, last, ok, wantFirst, wantLast)
+		}
+	}
+}
