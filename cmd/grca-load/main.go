@@ -1,0 +1,205 @@
+// Command grca-load drives a running `grca serve` instance over HTTP: it
+// loads a bundle's raw feeds, finalizes, then streams batches of
+// normalized events from concurrent workers and reports sustained ingest
+// throughput. The CI serve-smoke job uses it to produce BENCH_SERVE.json.
+//
+// Usage:
+//
+//	grca-load -addr http://localhost:8080 -bundle /tmp/corpus \
+//	  [-events 200000] [-batch 500] [-c 4] [-o BENCH_SERVE.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"grca/internal/collector"
+	"grca/internal/event"
+	"grca/internal/platform"
+)
+
+var feedOrder = []string{
+	collector.SourceOSPFMon, collector.SourceBGPMon, collector.SourceSyslog,
+	collector.SourceSNMP, collector.SourceTACACS, collector.SourceWorkflow,
+	collector.SourceLayer1, collector.SourcePerfMon, collector.SourceKeynote,
+	collector.SourceServer,
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "serve base URL")
+	bundleDir := flag.String("bundle", "", "bundle to load before streaming (skip load phase when empty)")
+	events := flag.Int("events", 200000, "normalized events to stream after finalize")
+	batch := flag.Int("batch", 500, "events per ingest batch")
+	workers := flag.Int("c", 4, "concurrent streaming workers")
+	out := flag.String("o", "", "write the throughput report to this JSON file (default stdout)")
+	flag.Parse()
+
+	if err := run(*addr, *bundleDir, *events, *batch, *workers, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "grca-load: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, bundleDir string, events, batchSize, workers int, out string) error {
+	start := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	if bundleDir != "" {
+		b, err := platform.Load(bundleDir)
+		if err != nil {
+			return err
+		}
+		start = b.Start.Add(b.Duration)
+		loadBegan := time.Now()
+		for _, src := range feedOrder {
+			feed, ok := b.Feeds[src]
+			if !ok {
+				continue
+			}
+			body, err := json.Marshal(map[string]string{"source": src, "lines": feed})
+			if err != nil {
+				return err
+			}
+			if err := postOK(addr+"/v1/ingest", body); err != nil {
+				return fmt.Errorf("ingest %s: %v", src, err)
+			}
+		}
+		// 409 means a recovered server is already serving — fine.
+		if err := postOK(addr+"/v1/finalize", []byte("{}")); err != nil && !isConflict(err) {
+			return fmt.Errorf("finalize: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "grca-load: bundle loaded and finalized in %v\n",
+			time.Since(loadBegan).Round(time.Millisecond))
+	}
+
+	// Stream phase: each worker owns a disjoint interface namespace so the
+	// generated up events never interleave on one location, and stamps
+	// strictly increasing times so the realtime clock only moves forward.
+	batches := make(chan []byte, workers)
+	var sent, rejected int64
+	var wg sync.WaitGroup
+	began := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for body := range batches {
+				for {
+					code, err := postCode(addr+"/v1/ingest", body)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "grca-load: %v\n", err)
+						return
+					}
+					if code == http.StatusTooManyRequests {
+						atomic.AddInt64(&rejected, 1)
+						time.Sleep(50 * time.Millisecond)
+						continue
+					}
+					if code != http.StatusOK {
+						fmt.Fprintf(os.Stderr, "grca-load: ingest status %d\n", code)
+						return
+					}
+					break
+				}
+			}
+		}()
+	}
+	type wireEvent struct {
+		Name  string    `json:"name"`
+		Start time.Time `json:"start"`
+		End   time.Time `json:"end"`
+		Loc   struct {
+			Type string `json:"type"`
+			A    string `json:"a"`
+		} `json:"loc"`
+	}
+	produced := 0
+	for produced < events {
+		n := batchSize
+		if events-produced < n {
+			n = events - produced
+		}
+		evs := make([]wireEvent, n)
+		for i := range evs {
+			at := start.Add(time.Duration(produced+i) * time.Millisecond)
+			evs[i].Name = event.InterfaceUp
+			evs[i].Start, evs[i].End = at, at
+			evs[i].Loc.Type = "interface"
+			evs[i].Loc.A = fmt.Sprintf("load-r%d", (produced+i)%64)
+		}
+		body, err := json.Marshal(map[string]any{"events": evs})
+		if err != nil {
+			return err
+		}
+		batches <- body
+		produced += n
+		atomic.AddInt64(&sent, int64(n))
+	}
+	close(batches)
+	wg.Wait()
+	elapsed := time.Since(began)
+
+	report := map[string]any{
+		"events":         atomic.LoadInt64(&sent),
+		"batch_size":     batchSize,
+		"workers":        workers,
+		"seconds":        elapsed.Seconds(),
+		"events_per_sec": float64(atomic.LoadInt64(&sent)) / elapsed.Seconds(),
+		"retries_429":    atomic.LoadInt64(&rejected),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	fmt.Fprintf(os.Stderr, "grca-load: %d events in %v (%.0f events/s, %d 429 retries)\n",
+		report["events"], elapsed.Round(time.Millisecond), report["events_per_sec"], report["retries_429"])
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0o644)
+}
+
+func postCode(url string, body []byte) (int, error) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
+	return resp.StatusCode, nil
+}
+
+type statusErr int
+
+func (e statusErr) Error() string { return fmt.Sprintf("status %d", int(e)) }
+
+func isConflict(err error) bool {
+	var se statusErr
+	return errors.As(err, &se) && se == http.StatusConflict
+}
+
+func postOK(url string, body []byte) error {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		if len(msg) > 0 {
+			return fmt.Errorf("%w: %s", statusErr(resp.StatusCode), msg)
+		}
+		return statusErr(resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck // draining for keep-alive
+	return nil
+}

@@ -12,6 +12,7 @@
 //	grca events
 //	grca rules
 //	grca bayes -data /tmp/corpus        # §IV-C group inference
+//	grca serve -data-dir /var/lib/grca -bundle /tmp/corpus  # durable HTTP diagnosis service
 package main
 
 import (
@@ -64,6 +65,8 @@ func main() {
 		err = runReport(os.Args[2:])
 	case "chaos":
 		err = runChaos(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -85,7 +88,8 @@ func usage() {
   grca vet [spec.grca ...] [-json] [-validate -data DIR]  # static spec/graph validation; no args vets the built-ins
   grca graph <bgpflap|cdn|pim|backbone>            # Graphviz DOT of the diagnosis graph
   grca report <bgpflap|cdn|pim|backbone> -data DIR # full SQM report (breakdown, trend, drill-downs)
-  grca chaos -data DIR [-seed N] [-faults LIST] [-apps LIST] [-o FILE]  # fault-injection accuracy matrix (JSON)`)
+  grca chaos -data DIR [-seed N] [-faults LIST] [-apps LIST] [-o FILE]  # fault-injection accuracy matrix (JSON)
+  grca serve -data-dir DIR -bundle DIR [-addr :8080] [-fsync batch|interval] [-snapshot-every N] [-retention DUR] [-max-inflight N]`)
 }
 
 type app struct {

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"grca/internal/obs"
+	"grca/internal/platform"
+	"grca/internal/server"
+	"grca/internal/wal"
+)
+
+// runServe starts the durable diagnosis service: the bundle supplies the
+// configuration archive and deployment metadata, feeds arrive over HTTP,
+// and everything accepted survives restarts via the WAL + ingest journal
+// under -data-dir.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	dataDir := fs.String("data-dir", "", "durable state directory (WAL, snapshots, journal; required)")
+	bundleDir := fs.String("bundle", "", "dataset bundle directory supplying configs + manifest (required)")
+	fsync := fs.String("fsync", "batch", "WAL durability policy: batch (sync per commit) or interval")
+	fsyncEvery := fs.Duration("fsync-interval", 200*time.Millisecond, "background sync period with -fsync=interval")
+	snapshotEvery := fs.Int("snapshot-every", 50000, "snapshot the store every N WAL records (0 = only on shutdown/eviction)")
+	retention := fs.Duration("retention", 0, "evict events older than this behind the stream head (0 = keep everything)")
+	maxInflight := fs.Int("max-inflight", 64, "ingest queue depth; beyond it clients get 429")
+	timeout := fs.Duration("request-timeout", 60*time.Second, "per-request applier wait bound")
+	metricsAddr := fs.String("metrics-addr", "", "serve expvar/pprof on this address (e.g. :6060)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" || *bundleDir == "" {
+		return fmt.Errorf("serve: -data-dir and -bundle are required")
+	}
+	policy, err := wal.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		return err
+	}
+	bundle, err := platform.Load(*bundleDir)
+	if err != nil {
+		return err
+	}
+	if *metricsAddr != "" {
+		bound, shutdown, err := obs.ServeDebug(*metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		fmt.Fprintf(os.Stderr, "metrics: expvar at http://%s/debug/vars, pprof at http://%s/debug/pprof/\n", bound, bound)
+	}
+
+	s, err := server.Open(server.Config{
+		DataDir:        *dataDir,
+		Bundle:         bundle,
+		Fsync:          policy,
+		FsyncInterval:  *fsyncEvery,
+		SnapshotEvery:  *snapshotEvery,
+		Retention:      *retention,
+		MaxInflight:    *maxInflight,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	rec := s.Recovery()
+	phase := "loading"
+	if rec.Finalized {
+		phase = "serving"
+	}
+	fmt.Fprintf(os.Stderr, "serve: recovered %d batches, %d events (phase %s", rec.Batches, rec.Events, phase)
+	if rec.WALRebuilt {
+		fmt.Fprint(os.Stderr, "; WAL rebuilt from journal")
+	}
+	fmt.Fprintln(os.Stderr, ")")
+
+	bound, err := s.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (data under %s, fsync=%s)\n", bound, *dataDir, policy)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "serve: %v — draining\n", got)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return fmt.Errorf("serve: shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "serve: stopped cleanly")
+	return nil
+}

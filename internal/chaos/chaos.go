@@ -55,11 +55,16 @@ const (
 	// streaming processor's grace window (exercised by Replay; feed text
 	// is unaffected).
 	FaultDelay Fault = "delay"
+	// FaultCrashRestart kills and restarts a WAL-backed ingest mid-stream
+	// (exercised by CrashReplay; feed text is unaffected): uncommitted
+	// batches are lost and re-delivered after recovery, and the recovered
+	// store must come back byte-identical.
+	FaultCrashRestart Fault = "crash-restart"
 )
 
 // AllFaults lists every fault class in canonical order.
 func AllFaults() []Fault {
-	return []Fault{FaultSkew, FaultReorder, FaultDuplicate, FaultTruncate, FaultDropSource, FaultDelay}
+	return []Fault{FaultSkew, FaultReorder, FaultDuplicate, FaultTruncate, FaultDropSource, FaultDelay, FaultCrashRestart}
 }
 
 // Bounds documents the maximum top-cause accuracy drop (absolute, on the
@@ -67,12 +72,13 @@ func AllFaults() []Fault {
 // default Config rates. The scenario-matrix tests enforce these bounds;
 // widen one only with a DESIGN.md §9 note explaining what got worse.
 var Bounds = map[Fault]float64{
-	FaultSkew:       0.10, // seconds-scale skew sits well inside minutes-scale join windows
-	FaultReorder:    0.02, // ingest restores record order on stateful feeds; pairing buffers sort in Finalize
-	FaultDuplicate:  0.10, // duplicate edges re-pair into extra, but aligned, events
-	FaultTruncate:   0.15, // lost evidence lines demote some diagnoses to shallower causes
-	FaultDropSource: 0.35, // a whole evidence feed gone degrades its dependent classes
-	FaultDelay:      0.15, // forced/late diagnoses run on incomplete evidence
+	FaultSkew:         0.10, // seconds-scale skew sits well inside minutes-scale join windows
+	FaultReorder:      0.02, // ingest restores record order on stateful feeds; pairing buffers sort in Finalize
+	FaultDuplicate:    0.10, // duplicate edges re-pair into extra, but aligned, events
+	FaultTruncate:     0.15, // lost evidence lines demote some diagnoses to shallower causes
+	FaultDropSource:   0.35, // a whole evidence feed gone degrades its dependent classes
+	FaultDelay:        0.15, // forced/late diagnoses run on incomplete evidence
+	FaultCrashRestart: 0.0,  // recovery is byte-identical, so diagnoses must not move at all
 }
 
 // DefaultDroppable lists the sources FaultDropSource picks from when
@@ -122,6 +128,13 @@ type Config struct {
 	// past any derived grace period to exercise the late path.
 	DelayFraction float64
 	DelayMax      time.Duration
+
+	// CrashCount kill -9 restarts are simulated at seed-derived points in
+	// the stream (default 3); CrashBatch events are delivered per
+	// acknowledged WAL commit (default 256), bounding how much each crash
+	// loses and re-delivers.
+	CrashCount int
+	CrashBatch int
 }
 
 func (c *Config) defaults() {
@@ -151,6 +164,12 @@ func (c *Config) defaults() {
 	}
 	if c.DelayMax == 0 {
 		c.DelayMax = 4 * time.Hour
+	}
+	if c.CrashCount == 0 {
+		c.CrashCount = 3
+	}
+	if c.CrashBatch == 0 {
+		c.CrashBatch = 256
 	}
 }
 

@@ -112,6 +112,16 @@ func TestScenarioMatrix(t *testing.T) {
 					t.Errorf("%s: 4h delays never crossed the grace window", sc.App)
 				}
 			}
+		case chaos.FaultCrashRestart:
+			if scen.Crashes == 0 {
+				t.Error("crash-restart scenario crashed nothing")
+			}
+			if !scen.DigestMatch {
+				t.Error("crash-restart recovery was not byte-identical to the clean store")
+			}
+			if scen.Redelivered == 0 {
+				t.Error("crash-restart scenario lost (and redelivered) no uncommitted events")
+			}
 		}
 	}
 }

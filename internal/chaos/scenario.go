@@ -61,6 +61,13 @@ type Scenario struct {
 	Malformed   int      `json:",omitempty"`
 	Quarantined []string `json:",omitempty"`
 	Dropped     []string `json:",omitempty"`
+	// Crashes/Redelivered/DigestMatch are set by the crash-restart
+	// scenario: restart count, events lost-and-redelivered across all
+	// crashes, and whether WAL recovery reproduced the store
+	// byte-identically.
+	Crashes     int  `json:",omitempty"`
+	Redelivered int  `json:",omitempty"`
+	DigestMatch bool `json:",omitempty"`
 	Apps        []AppScore
 }
 
@@ -147,6 +154,31 @@ func RunMatrix(b platform.Bundle, cfg Config, opts Options) (*Report, error) {
 						Late: res.Late, Forced: res.Forced,
 					},
 				}
+				sc.AccuracyDrop = cleanAcc[a.Name] - sc.Score.Accuracy
+				scen.Apps = append(scen.Apps, sc)
+			}
+			rep.Scenarios = append(rep.Scenarios, scen)
+			continue
+		}
+
+		if f == FaultCrashRestart {
+			// Crash-restart perturbs durability, not the feed text: replay
+			// the clean corpus through a WAL with seeded kill -9 restarts
+			// and diagnose over the recovered store.
+			res, err := inj.CrashReplay(cleanSys.Store)
+			if err != nil {
+				return nil, err
+			}
+			scen.Crashes, scen.Redelivered, scen.DigestMatch =
+				res.Crashes, res.Redelivered, res.DigestMatch
+			for _, a := range apps {
+				eng, err := a.NewEngine(res.Store, cleanSys.View)
+				if err != nil {
+					return nil, fmt.Errorf("chaos: %s engine: %v", a.Name, err)
+				}
+				ds := eng.DiagnoseAll()
+				sc := AppScore{App: a.Name, Symptoms: len(ds),
+					Score: Score(b.Truth, a.Study, ds, opts.Tolerance)}
 				sc.AccuracyDrop = cleanAcc[a.Name] - sc.Score.Accuracy
 				scen.Apps = append(scen.Apps, sc)
 			}

@@ -503,7 +503,8 @@ func (c *Collector) Finalize() error {
 // by an up on the same location within FlapWindow additionally yields a
 // flap spanning the pair.
 func (c *Collector) pairTransitions(buf map[locus.Location][]transition, downName, upName, flapName string) {
-	for loc, trans := range buf {
+	for _, loc := range sortedLocs(buf) {
+		trans := buf[loc]
 		sort.SliceStable(trans, func(i, j int) bool { return trans[i].at.Before(trans[j].at) })
 		var pendingDown *transition
 		for i := range trans {
@@ -522,10 +523,24 @@ func (c *Collector) pairTransitions(buf map[locus.Location][]transition, downNam
 	}
 }
 
+// sortedLocs returns a pairing buffer's locations in key order. Finalize
+// emits paired events per location; iterating the buffer maps directly
+// would assign store IDs in map order, making two runs over the same
+// feeds (batch vs. serve replay, restart recovery) disagree on IDs.
+func sortedLocs[V any](buf map[locus.Location]V) []locus.Location {
+	locs := make([]locus.Location, 0, len(buf))
+	for loc := range buf {
+		locs = append(locs, loc)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i].Key() < locs[j].Key() })
+	return locs
+}
+
 // pairBGP emits an eBGP flap for every ADJCHANGE Down→Up pair (a session
 // that goes down and comes back; the unit of Table IV).
 func (c *Collector) pairBGP() {
-	for loc, trans := range c.bgpTrans {
+	for _, loc := range sortedLocs(c.bgpTrans) {
+		trans := c.bgpTrans[loc]
 		sort.SliceStable(trans, func(i, j int) bool { return trans[i].at.Before(trans[j].at) })
 		var pendingDown *transition
 		for i := range trans {

@@ -114,7 +114,13 @@ func (c *Collector) parseOSPFMon(line string) error {
 // signature of a whole-router maintenance.
 func (c *Collector) inferRouterCost() {
 	infer := func(buf map[string][]ospf.WeightChange, direction string) {
-		for router, changes := range buf {
+		routers := make([]string, 0, len(buf))
+		for router := range buf {
+			routers = append(routers, router)
+		}
+		sort.Strings(routers)
+		for _, router := range routers {
+			changes := buf[router]
 			links := c.internalLinkCount(router)
 			if links == 0 {
 				continue

@@ -188,6 +188,17 @@ type Bucket struct {
 	Count int64   `json:"count"`
 }
 
+// MarshalJSON renders the overflow bucket's +Inf bound as the string
+// "+Inf": encoding/json rejects infinite floats, which would otherwise
+// abort every snapshot export once a single sample lands past the last
+// bound.
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	if math.IsInf(b.Upper, 1) {
+		return []byte(fmt.Sprintf(`{"upper":"+Inf","count":%d}`, b.Count)), nil
+	}
+	return []byte(fmt.Sprintf(`{"upper":%g,"count":%d}`, b.Upper, b.Count)), nil
+}
+
 // HistogramSnapshot is a consistent-enough copy of a histogram: counts
 // are read without a global lock, so a snapshot taken mid-observation may
 // be off by the in-flight sample; percentiles are estimated by linear

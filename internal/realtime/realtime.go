@@ -62,6 +62,7 @@ type Processor struct {
 	now     time.Time
 	late    int
 	forced  int
+	closed  bool
 }
 
 // New builds a streaming processor. The store starts empty and fills from
@@ -72,6 +73,15 @@ type Processor struct {
 // reuse the expansions computed for earlier symptoms.
 func New(view *netstate.View, g *dgraph.Graph, grace time.Duration) *Processor {
 	st := store.New()
+	return &Processor{Grace: grace, eng: engine.New(st, view, g), st: st}
+}
+
+// NewOnStore builds a streaming processor over an existing store that
+// someone else fills — the serving pipeline, where the WAL-backed store
+// is shared by ingest, diagnosis, and trending. Events reach the
+// processor through ObserveStored after the owner has added them;
+// calling Observe on such a processor would store them twice.
+func NewOnStore(st *store.Store, view *netstate.View, g *dgraph.Graph, grace time.Duration) *Processor {
 	return &Processor{Grace: grace, eng: engine.New(st, view, g), st: st}
 }
 
@@ -91,18 +101,31 @@ func (p *Processor) Store() *store.Store { return p.st }
 // Observe returns the diagnoses of every pending symptom whose grace
 // period elapsed as the stream clock advanced.
 func (p *Processor) Observe(in event.Instance) (ds []engine.Diagnosis, late bool) {
-	avail := in.End
+	return p.observe(p.st.Add(in))
+}
+
+// ObserveStored is Observe for an instance already added to the
+// processor's (shared) store by its owner — the serving pipeline's
+// applier. Same ordering contract and results as Observe.
+func (p *Processor) ObserveStored(stored *event.Instance) (ds []engine.Diagnosis, late bool) {
+	return p.observe(stored)
+}
+
+func (p *Processor) observe(stored *event.Instance) (ds []engine.Diagnosis, late bool) {
+	if p.closed {
+		return nil, false
+	}
+	avail := stored.End
 	if avail.Before(p.now.Add(-p.Grace)) {
 		late = true
 		p.late++
 		mLate.Inc()
 	}
 	mObserved.Inc()
-	stored := p.st.Add(in)
 	if avail.After(p.now) {
 		p.now = avail
 	}
-	if in.Name == p.eng.Graph.Root {
+	if stored.Name == p.eng.Graph.Root {
 		p.pending = append(p.pending, stored)
 		mPendingPeak.SetMax(int64(len(p.pending)))
 	}
@@ -124,6 +147,23 @@ func (p *Processor) Observe(in event.Instance) (ds []engine.Diagnosis, late bool
 // Flush diagnoses every still-pending symptom; call it when the stream
 // ends.
 func (p *Processor) Flush() []engine.Diagnosis { return p.drain(true) }
+
+// Close retires the processor: every pending symptom is force-drained —
+// diagnosed now with whatever evidence arrived, counted as forced since
+// its grace period was cut short — the pending gauge is zeroed, and all
+// further observations are ignored. Used on serving-pipeline shutdown,
+// where the stream stops mid-grace rather than ending.
+func (p *Processor) Close() []engine.Diagnosis {
+	if p.closed {
+		return nil
+	}
+	n := len(p.pending)
+	ds := p.drain(true)
+	p.forced += n
+	mForced.Add(int64(n))
+	p.closed = true
+	return ds
+}
 
 // Pending reports how many symptoms await their grace period.
 func (p *Processor) Pending() int { return len(p.pending) }

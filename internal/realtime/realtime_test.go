@@ -13,6 +13,7 @@ import (
 	"grca/internal/obs"
 	"grca/internal/platform"
 	"grca/internal/simnet"
+	"grca/internal/store"
 	"grca/internal/temporal"
 	"grca/internal/testnet"
 )
@@ -299,5 +300,83 @@ func TestStreamingSharesSpatialCache(t *testing.T) {
 	}
 	if hits.Value() == h0 {
 		t.Error("second symptom recorded no cache hits; shared cache not reused across Observe calls")
+	}
+}
+
+// TestObserveStoredSharedStore: a processor over a shared store fed via
+// ObserveStored behaves exactly like one owning its store fed via
+// Observe — the serving pipeline's configuration.
+func TestObserveStoredSharedStore(t *testing.T) {
+	n := testnet.Build(t.Fatalf)
+	g := miniGraph(t)
+	t0 := testnet.T0
+	ifc, _ := n.Topo.InterfaceByName("chi-per1", "to-custB")
+	adj := locus.Between(locus.RouterNeighbor, "chi-per1", ifc.PeerIP.String())
+	stream := []event.Instance{
+		{Name: event.InterfaceFlap, Start: t0.Add(time.Hour - 2*time.Minute),
+			End: t0.Add(time.Hour + 4*time.Minute), Loc: locus.Between(locus.Interface, "chi-per1", "to-custB")},
+		{Name: event.EBGPFlap, Start: t0.Add(time.Hour), End: t0.Add(time.Hour + time.Minute), Loc: adj},
+		{Name: "tick", Start: t0.Add(2 * time.Hour), End: t0.Add(2 * time.Hour),
+			Loc: locus.At(locus.Router, "nyc-cr1")},
+	}
+
+	own := New(n.View, g, 10*time.Minute)
+	var want []engine.Diagnosis
+	for _, in := range stream {
+		out, _ := own.Observe(in)
+		want = append(want, out...)
+	}
+
+	st := store.New()
+	shared := NewOnStore(st, n.View, g, 10*time.Minute)
+	if shared.Store() != st {
+		t.Fatal("NewOnStore did not adopt the given store")
+	}
+	var got []engine.Diagnosis
+	for _, in := range stream {
+		out, _ := shared.ObserveStored(st.Add(in))
+		got = append(got, out...)
+	}
+	if st.Len() != len(stream) {
+		t.Fatalf("shared store holds %d events, want %d (ObserveStored must not re-add)", st.Len(), len(stream))
+	}
+	if len(got) != len(want) || len(got) != 1 {
+		t.Fatalf("shared-store diagnoses = %d, own-store = %d, want 1", len(got), len(want))
+	}
+	if got[0].Primary() != want[0].Primary() {
+		t.Errorf("primary diverged: shared %q vs own %q", got[0].Primary(), want[0].Primary())
+	}
+}
+
+// TestCloseForceDrains: Close diagnoses everything still pending, counts
+// it as forced (the grace period was cut short), and turns further
+// observations into no-ops.
+func TestCloseForceDrains(t *testing.T) {
+	n := testnet.Build(t.Fatalf)
+	p := New(n.View, miniGraph(t), time.Hour)
+	t0 := testnet.T0
+	ifc, _ := n.Topo.InterfaceByName("chi-per1", "to-custB")
+	adj := locus.Between(locus.RouterNeighbor, "chi-per1", ifc.PeerIP.String())
+	for i := 0; i < 3; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		p.Observe(event.Instance{Name: event.EBGPFlap, Start: at, End: at, Loc: adj})
+	}
+	if p.Pending() != 3 {
+		t.Fatalf("pending = %d", p.Pending())
+	}
+	ds := p.Close()
+	if len(ds) != 3 || p.Pending() != 0 {
+		t.Fatalf("Close drained %d, pending %d, want 3 and 0", len(ds), p.Pending())
+	}
+	if p.Forced() != 3 {
+		t.Errorf("Forced = %d, want 3 (close cut their grace short)", p.Forced())
+	}
+	if again := p.Close(); again != nil {
+		t.Errorf("second Close returned %d diagnoses", len(again))
+	}
+	out, late := p.Observe(event.Instance{Name: event.EBGPFlap,
+		Start: t0.Add(time.Hour), End: t0.Add(time.Hour), Loc: adj})
+	if out != nil || late || p.Pending() != 0 {
+		t.Error("observation after Close was not ignored")
 	}
 }

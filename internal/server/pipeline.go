@@ -1,0 +1,552 @@
+// Package server turns the G-RCA pipeline into a durable, network-facing
+// diagnosis service: the paper's platform ran as a shared system that
+// applications fed continuously and queried on demand (§II), and this
+// package is that shape — an HTTP/JSON API over a WAL-backed event store.
+//
+// # Durability model
+//
+// Two append-only structures under the data directory carry the state:
+//
+//   - The event WAL (internal/wal): every normalized instance added to
+//     the store, with snapshots and compaction. It recovers the store
+//     byte-identically and fast.
+//   - The ingest journal (journal.log): every accepted ingest batch in
+//     arrival order — raw feed lines or normalized-event JSON — plus the
+//     finalize marker. The collector's parse state (routing simulations,
+//     pairing buffers, rolling baselines) is a function of raw input, not
+//     of normalized events, so restart recovery replays this journal
+//     through a fresh collector to rebuild it.
+//
+// The journal append (fsynced) is the batch commit point; the WAL commit
+// follows it. On startup both are reconciled: the journal is replayed
+// into a scratch pipeline and the scratch store's digest must equal the
+// WAL-recovered store's. A mismatch — a crash between journal fsync and
+// WAL commit, or a corrupt WAL — rebuilds the WAL from the journal
+// replay, so recovery always converges on the journal's longest
+// committed prefix of batches.
+//
+// # Pipeline
+//
+// One applier goroutine owns all writes: HTTP handlers enqueue batches
+// onto a bounded queue and wait for the result; when the queue is full
+// the handler answers 429 with Retry-After instead of buffering — memory
+// stays bounded under overload. Reads (diagnose, events, stats) bypass
+// the queue; the store and view take their own read locks.
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"grca/internal/apps/backbone"
+	"grca/internal/apps/bgpflap"
+	"grca/internal/apps/cdn"
+	"grca/internal/apps/pim"
+	"grca/internal/collector"
+	"grca/internal/conf"
+	"grca/internal/dgraph"
+	"grca/internal/engine"
+	"grca/internal/event"
+	"grca/internal/netmodel"
+	"grca/internal/netstate"
+	"grca/internal/obs"
+	"grca/internal/platform"
+	"grca/internal/realtime"
+	"grca/internal/store"
+	"grca/internal/wal"
+)
+
+var (
+	mBatches    = obs.GetCounter("server.ingest.batches")
+	mEvents     = obs.GetCounter("server.ingest.events")
+	mRejected   = obs.GetCounter("server.http.429")
+	mQueueDepth = obs.GetGauge("server.queue.depth")
+	mRecovered  = obs.GetCounter("server.recovery.batches")
+	mRebuilt    = obs.GetCounter("server.recovery.wal.rebuilt")
+)
+
+// Journal record kinds. A record is kind | uvarint len(source) | source |
+// body: raw feed lines for recFeed, the JSON event array for recEvents,
+// empty for recFinalize.
+const (
+	recFeed     = 1
+	recFinalize = 2
+	recEvents   = 3
+)
+
+func encodeRecord(kind byte, source string, body []byte) []byte {
+	out := make([]byte, 0, 1+10+len(source)+len(body))
+	out = append(out, kind)
+	out = binary.AppendUvarint(out, uint64(len(source)))
+	out = append(out, source...)
+	return append(out, body...)
+}
+
+func decodeRecord(p []byte) (kind byte, source string, body []byte, err error) {
+	if len(p) < 1 {
+		return 0, "", nil, fmt.Errorf("server: empty journal record")
+	}
+	kind, p = p[0], p[1:]
+	n, sz := binary.Uvarint(p)
+	if sz <= 0 || n > uint64(len(p)-sz) {
+		return 0, "", nil, fmt.Errorf("server: truncated journal record source")
+	}
+	return kind, string(p[sz : sz+int(n)]), p[sz+int(n):], nil
+}
+
+// appSpec binds one packaged RCA application to the service.
+type appSpec struct {
+	name      string
+	build     func() (*event.Library, *dgraph.Graph, error)
+	newEngine func(*store.Store, *netstate.View) (*engine.Engine, error)
+}
+
+func appSpecs() []appSpec {
+	return []appSpec{
+		{"bgpflap", bgpflap.Build, bgpflap.NewEngine},
+		{"cdn", cdn.Build, cdn.NewEngine},
+		{"pim", pim.Build, pim.NewEngine},
+		{"backbone", backbone.Build, backbone.NewEngine},
+	}
+}
+
+// knownSources mirrors the collector's feed switch so an unknown source
+// is rejected before it is journaled.
+var knownSources = map[string]bool{
+	collector.SourceOSPFMon: true, collector.SourceBGPMon: true,
+	collector.SourceSyslog: true, collector.SourceSNMP: true,
+	collector.SourceTACACS: true, collector.SourceWorkflow: true,
+	collector.SourceLayer1: true, collector.SourcePerfMon: true,
+	collector.SourceKeynote: true, collector.SourceServer: true,
+}
+
+func knownSource(s string) bool { return knownSources[s] }
+
+// maxEventDuration bounds a single event's run time when deriving each
+// application's streaming grace period; 15 minutes matches the
+// collector's flap-aggregation window (and cmd/grca stats).
+const maxEventDuration = 15 * time.Minute
+
+// Config configures Open.
+type Config struct {
+	// DataDir holds the WAL, snapshots, and ingest journal.
+	DataDir string
+	// Bundle supplies the configuration archive and manifest (collection
+	// window, CDN deployment). Its Feeds are ignored — feeds arrive over
+	// HTTP.
+	Bundle platform.Bundle
+	// Fsync is the WAL durability policy (default batch). The ingest
+	// journal always fsyncs per batch; this tunes only the event WAL.
+	Fsync wal.FsyncPolicy
+	// FsyncInterval is the WAL background sync period under interval
+	// policy.
+	FsyncInterval time.Duration
+	// SnapshotEvery auto-snapshots the store after that many WAL records.
+	SnapshotEvery int
+	// Retention, when positive, evicts events older than this behind the
+	// store's moving window; eviction triggers a snapshot so compaction
+	// keeps disk bounded too.
+	Retention time.Duration
+	// MaxInflight bounds the ingest queue (default 64 batches); beyond
+	// it, ingest answers 429.
+	MaxInflight int
+	// RequestTimeout bounds one request's wait for the applier (default
+	// 60s).
+	RequestTimeout time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+}
+
+// task is one queued ingest batch.
+type task struct {
+	kind   byte
+	source string
+	lines  []byte
+	events []event.Instance
+	raw    []byte // journal body for recEvents
+	reply  chan taskResult
+}
+
+type taskResult struct {
+	status int
+	resp   IngestResponse
+	err    error
+}
+
+// Server is an open diagnosis service.
+type Server struct {
+	cfg  Config
+	topo *netmodel.Topology
+	log  *wal.Log
+	st   *store.Store
+	jour *wal.Journal
+	coll *collector.Collector
+
+	queue chan task
+	done  chan struct{}
+
+	// mu guards the serving-phase artifacts (finalized flag, view,
+	// engines, processors): written by the applier, read by handlers.
+	mu        sync.RWMutex
+	finalized bool
+	view      *netstate.View
+	engines   map[string]*engine.Engine
+	traced    map[string]*engine.Engine // tracing twins of engines
+	procs     map[string]*realtime.Processor
+
+	closing  chan struct{}
+	httpSrv  *http.Server
+	recovery RecoveryInfo
+}
+
+// RecoveryInfo reports what Open reconstructed.
+type RecoveryInfo struct {
+	// Batches is how many journaled ingest batches were replayed.
+	Batches int
+	// Finalized reports whether the recovered service was already past
+	// finalize.
+	Finalized bool
+	// Events is the recovered store's live event count.
+	Events int
+	// WALRebuilt is true when the WAL disagreed with the journal (crash
+	// between journal fsync and WAL commit, or corruption) and was
+	// rebuilt from the journal replay.
+	WALRebuilt bool
+}
+
+func journalPath(dir string) string { return filepath.Join(dir, "journal.log") }
+
+// Open recovers (or initializes) the service under cfg.DataDir.
+func Open(cfg Config) (*Server, error) {
+	cfg.defaults()
+	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	topo, err := conf.Parse(cfg.Bundle.Configs, cfg.Bundle.Inventory)
+	if err != nil {
+		return nil, fmt.Errorf("server: config archive: %v", err)
+	}
+	walOpts := wal.Options{
+		Fsync: cfg.Fsync, FsyncInterval: cfg.FsyncInterval,
+		SnapshotEvery: cfg.SnapshotEvery, Retention: cfg.Retention,
+	}
+	l, st, _, walErr := wal.Open(cfg.DataDir, walOpts)
+
+	// Replay the ingest journal through a scratch pipeline to rebuild
+	// collector state; its store doubles as the cross-check against the
+	// WAL-recovered store.
+	scratch, finalized, batches, err := replayJournal(cfg, topo)
+	if err != nil {
+		return nil, err
+	}
+	rebuilt := false
+	switch {
+	case walErr != nil,
+		l != nil && wal.StoreDigest(st) != wal.StoreDigest(scratch.Store):
+		// The WAL trails or disagrees with the journal: rebuild it from
+		// the journal replay, which is the batch-level committed prefix.
+		if l != nil {
+			l.Close() //nolint:errcheck // being discarded
+		}
+		for _, sub := range []string{"wal", "snap"} {
+			if err := os.RemoveAll(filepath.Join(cfg.DataDir, sub)); err != nil {
+				return nil, err
+			}
+		}
+		l, st, _, err = wal.Open(cfg.DataDir, walOpts)
+		if err != nil {
+			return nil, err
+		}
+		base, next, ins := scratch.Store.Dump()
+		if err := st.Restore(base, next, ins); err != nil {
+			return nil, fmt.Errorf("server: rebuilding store from journal: %v", err)
+		}
+		if err := l.Snapshot(); err != nil {
+			return nil, err
+		}
+		rebuilt = true
+		mRebuilt.Inc()
+	}
+	mRecovered.Add(int64(batches))
+
+	// The scratch collector carries the journal's parse state; point it
+	// at the authoritative store for all future ingest.
+	coll := scratch
+	coll.Store = st
+
+	jour, err := wal.OpenJournal(journalPath(cfg.DataDir))
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{
+		cfg: cfg, topo: topo, log: l, st: st, jour: jour, coll: coll,
+		queue:   make(chan task, cfg.MaxInflight),
+		done:    make(chan struct{}),
+		closing: make(chan struct{}),
+		recovery: RecoveryInfo{
+			Batches: batches, Finalized: finalized,
+			Events: st.Len(), WALRebuilt: rebuilt,
+		},
+	}
+	st.OnEvict(func(int, time.Time) {
+		// Runs on the applier goroutine (the only writer): evicting the
+		// store is the moment to snapshot, so segment compaction keeps
+		// disk bounded the same way retention bounds memory.
+		l.Snapshot() //nolint:errcheck // sticky in the log
+	})
+	if finalized {
+		if err := s.installServing(true); err != nil {
+			return nil, err
+		}
+	}
+	go s.applier()
+	return s, nil
+}
+
+// Recovery reports what Open reconstructed.
+func (s *Server) Recovery() RecoveryInfo { return s.recovery }
+
+// Store exposes the authoritative event store (tests, CLI wiring).
+func (s *Server) Store() *store.Store { return s.st }
+
+// replayJournal rebuilds the pipeline state recorded in the journal into
+// a fresh collector + store.
+func replayJournal(cfg Config, topo *netmodel.Topology) (c *collector.Collector, finalized bool, batches int, err error) {
+	st := store.New()
+	if cfg.Retention > 0 {
+		st.SetRetention(cfg.Retention)
+	}
+	c = collector.New(topo, st, cfg.Bundle.Start.Year())
+	c.WindowStart = cfg.Bundle.Start
+	c.WindowEnd = cfg.Bundle.Start.Add(cfg.Bundle.Duration)
+
+	_, err = wal.ReplayJournal(journalPath(cfg.DataDir), func(p []byte) error {
+		kind, source, body, err := decodeRecord(p)
+		if err != nil {
+			return err
+		}
+		batches++
+		switch kind {
+		case recFeed:
+			return c.Ingest(source, strings.NewReader(string(body)))
+		case recFinalize:
+			if err := c.Finalize(); err != nil {
+				return err
+			}
+			cdn.MaterializeEgressChanges(c, cfg.Bundle.CDN, c.WindowStart, c.WindowEnd)
+			finalized = true
+			return nil
+		case recEvents:
+			var evs []EventJSON
+			if err := json.Unmarshal(body, &evs); err != nil {
+				return fmt.Errorf("server: journaled event batch: %v", err)
+			}
+			for _, ej := range evs {
+				in, err := ej.instance()
+				if err != nil {
+					return fmt.Errorf("server: journaled event batch: %v", err)
+				}
+				st.Add(in)
+			}
+			return nil
+		}
+		return fmt.Errorf("server: unknown journal record kind %d", kind)
+	})
+	if err != nil {
+		return nil, false, batches, fmt.Errorf("server: journal replay: %v", err)
+	}
+	return c, finalized, batches, nil
+}
+
+// installServing transitions to the serving phase: routing view, CDN
+// registration, per-application engines and streaming processors. With
+// rebuildTails (recovery), each processor re-observes the tail of the
+// stored stream so symptoms still inside their grace window at the crash
+// stay pending instead of vanishing; their already-served diagnoses are
+// discarded.
+func (s *Server) installServing(rebuildTails bool) error {
+	view := netstate.NewView(s.topo, s.coll.OSPF, s.coll.BGP)
+	cdn.Register(view, s.cfg.Bundle.CDN)
+	engines := map[string]*engine.Engine{}
+	traced := map[string]*engine.Engine{}
+	procs := map[string]*realtime.Processor{}
+	for _, a := range appSpecs() {
+		eng, err := a.newEngine(s.st, view)
+		if err != nil {
+			return fmt.Errorf("server: %s engine: %v", a.name, err)
+		}
+		engines[a.name] = eng
+		// A tracing twin rather than a per-request copy: Engine embeds an
+		// atomic cache pointer and must not be copied.
+		teng, err := a.newEngine(s.st, view)
+		if err != nil {
+			return fmt.Errorf("server: %s engine: %v", a.name, err)
+		}
+		teng.Tracing = true
+		traced[a.name] = teng
+		_, g, err := a.build()
+		if err != nil {
+			return fmt.Errorf("server: %s graph: %v", a.name, err)
+		}
+		p := realtime.NewOnStore(s.st, view, g, realtime.GraceFor(g, maxEventDuration))
+		if rebuildTails {
+			rebuildTail(s.st, p)
+		}
+		procs[a.name] = p
+	}
+	s.mu.Lock()
+	s.finalized, s.view, s.engines, s.traced, s.procs = true, view, engines, traced, procs
+	s.mu.Unlock()
+	return nil
+}
+
+// rebuildTail replays the stored stream's tail (availability order)
+// through a fresh processor: events past the span's end minus the grace
+// window reconstruct the stream clock and the pending-symptom queue.
+// Emitted diagnoses are dropped — anything whose grace elapsed before
+// the crash was already served (streamed diagnoses are at-most-once; the
+// authoritative answer is always /v1/diagnose).
+func rebuildTail(st *store.Store, p *realtime.Processor) {
+	_, last, ok := st.Span()
+	if !ok {
+		return
+	}
+	cut := last.Add(-p.Grace - maxEventDuration)
+	var tail []*event.Instance
+	for _, name := range st.Names() {
+		for _, in := range st.All(name) {
+			if !in.End.Before(cut) {
+				tail = append(tail, in)
+			}
+		}
+	}
+	sort.SliceStable(tail, func(i, j int) bool { return tail[i].End.Before(tail[j].End) })
+	for _, in := range tail {
+		p.ObserveStored(in)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Applier
+// ---------------------------------------------------------------------
+
+// applier is the single writer: it drains the queue, journals each batch
+// (the commit point), applies it, commits the WAL, and replies.
+func (s *Server) applier() {
+	defer close(s.done)
+	for t := range s.queue {
+		mQueueDepth.Set(int64(len(s.queue)))
+		var res taskResult
+		switch t.kind {
+		case recFeed:
+			res = s.applyFeed(t.source, t.lines)
+		case recEvents:
+			res = s.applyEvents(t.events, t.raw)
+		case recFinalize:
+			res = s.applyFinalize()
+		}
+		mBatches.Inc()
+		t.reply <- res
+	}
+}
+
+func errResult(status int, format string, args ...any) taskResult {
+	return taskResult{status: status, err: fmt.Errorf(format, args...)}
+}
+
+func (s *Server) applyFeed(source string, lines []byte) taskResult {
+	if s.isFinalized() {
+		return errResult(http.StatusConflict, "feeds are closed: the system is finalized (use events)")
+	}
+	if err := s.jour.Append(encodeRecord(recFeed, source, lines)); err != nil {
+		return errResult(http.StatusInternalServerError, "journal: %v", err)
+	}
+	before := s.st.NextID()
+	if err := s.coll.Ingest(source, strings.NewReader(string(lines))); err != nil {
+		// The batch is journaled but invalid — replay hits the same
+		// deterministic error path, so state stays consistent.
+		return errResult(http.StatusBadRequest, "%v", err)
+	}
+	if err := s.log.Commit(); err != nil {
+		return errResult(http.StatusInternalServerError, "wal: %v", err)
+	}
+	stored := s.st.NextID() - before
+	mEvents.Add(int64(stored))
+	return taskResult{status: http.StatusOK, resp: IngestResponse{Stored: stored}}
+}
+
+func (s *Server) applyEvents(events []event.Instance, raw []byte) taskResult {
+	if err := s.jour.Append(encodeRecord(recEvents, "", raw)); err != nil {
+		return errResult(http.StatusInternalServerError, "journal: %v", err)
+	}
+	var resp IngestResponse
+	s.mu.RLock()
+	procs := s.procs
+	s.mu.RUnlock()
+	for i := range events {
+		stored := s.st.Add(events[i])
+		resp.Stored++
+		for _, a := range appSpecs() { // stable app order
+			p, ok := procs[a.name]
+			if !ok {
+				continue
+			}
+			ds, late := p.ObserveStored(stored)
+			if late {
+				resp.Late++
+			}
+			for _, d := range ds {
+				dj := diagnosisJSON(d)
+				dj.App = a.name
+				resp.Diagnoses = append(resp.Diagnoses, dj)
+			}
+		}
+	}
+	if err := s.log.Commit(); err != nil {
+		return errResult(http.StatusInternalServerError, "wal: %v", err)
+	}
+	mEvents.Add(int64(resp.Stored))
+	return taskResult{status: http.StatusOK, resp: resp}
+}
+
+func (s *Server) applyFinalize() taskResult {
+	if s.isFinalized() {
+		return errResult(http.StatusConflict, "already finalized")
+	}
+	if err := s.jour.Append(encodeRecord(recFinalize, "", nil)); err != nil {
+		return errResult(http.StatusInternalServerError, "journal: %v", err)
+	}
+	if err := s.coll.Finalize(); err != nil {
+		return errResult(http.StatusInternalServerError, "finalize: %v", err)
+	}
+	cdn.MaterializeEgressChanges(s.coll, s.cfg.Bundle.CDN, s.coll.WindowStart, s.coll.WindowEnd)
+	if err := s.log.Commit(); err != nil {
+		return errResult(http.StatusInternalServerError, "wal: %v", err)
+	}
+	if err := s.installServing(false); err != nil {
+		return errResult(http.StatusInternalServerError, "%v", err)
+	}
+	return taskResult{status: http.StatusOK}
+}
+
+func (s *Server) isFinalized() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.finalized
+}

@@ -1,0 +1,315 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"grca/internal/obs"
+)
+
+// Per-endpoint latency and inflight-request metrics; 429s and queue
+// depth live in pipeline.go.
+var (
+	mHTTPInflight = obs.GetGauge("server.http.inflight")
+	mIngestSecs   = obs.GetHistogram("server.http.ingest.seconds", obs.LatencyBuckets)
+	mDiagnoseSecs = obs.GetHistogram("server.http.diagnose.seconds", obs.LatencyBuckets)
+	mEventsSecs   = obs.GetHistogram("server.http.events.seconds", obs.LatencyBuckets)
+	mStatsSecs    = obs.GetHistogram("server.http.stats.seconds", obs.LatencyBuckets)
+)
+
+// maxBody bounds one request body (a feed batch of raw lines); matched
+// to the collector's own 4MiB line-scanner ceiling with framing slack.
+const maxBody = 8 << 20
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/ingest    one batch of raw feed lines or normalized events
+//	POST /v1/finalize  close the feeds, build the view, start serving
+//	POST /v1/diagnose  diagnose one stored symptom (or all) for an app
+//	GET  /v1/events    list stored events (?name=&limit=)
+//	GET  /v1/stats     phase, store, collector, and metrics snapshot
+//	GET  /healthz      liveness + phase
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/ingest", s.timed(mIngestSecs, s.handleIngest))
+	mux.HandleFunc("/v1/finalize", s.timed(mIngestSecs, s.handleFinalize))
+	mux.HandleFunc("/v1/diagnose", s.timed(mDiagnoseSecs, s.handleDiagnose))
+	mux.HandleFunc("/v1/events", s.timed(mEventsSecs, s.handleEvents))
+	mux.HandleFunc("/v1/stats", s.timed(mStatsSecs, s.handleStats))
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// timed wraps a handler with the inflight gauge, a request-scoped
+// timeout, and a latency histogram.
+func (s *Server) timed(h *obs.Histogram, fn http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		began := obs.Now()
+		mHTTPInflight.Add(1)
+		defer mHTTPInflight.Add(-1)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		fn(w, r.WithContext(ctx))
+		h.ObserveDuration(obs.Since(began))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client gone
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+// enqueue submits a batch to the applier and waits for its result.
+// A full queue is backpressure: the client is told to retry, nothing is
+// buffered. A closing server refuses new work outright.
+func (s *Server) enqueue(ctx context.Context, t task) taskResult {
+	t.reply = make(chan taskResult, 1)
+	select {
+	case <-s.closing:
+		return errResult(http.StatusServiceUnavailable, "server is draining")
+	default:
+	}
+	select {
+	case s.queue <- t:
+		mQueueDepth.Set(int64(len(s.queue)))
+	default:
+		mRejected.Inc()
+		return taskResult{status: http.StatusTooManyRequests,
+			err: fmt.Errorf("ingest queue full (%d batches)", cap(s.queue))}
+	}
+	select {
+	case res := <-t.reply:
+		return res
+	case <-ctx.Done():
+		return errResult(http.StatusServiceUnavailable, "timed out waiting for the applier")
+	}
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req IngestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	var t task
+	switch {
+	case req.Source != "" && len(req.Events) == 0:
+		if !knownSource(req.Source) {
+			writeErr(w, http.StatusBadRequest, "unknown source %q", req.Source)
+			return
+		}
+		t = task{kind: recFeed, source: req.Source, lines: []byte(req.Lines)}
+	case req.Source == "" && len(req.Events) > 0:
+		ins, err := decodeEvents(req.Events)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		raw, err := json.Marshal(req.Events)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		t = task{kind: recEvents, events: ins, raw: raw}
+	default:
+		writeErr(w, http.StatusBadRequest, "provide either source+lines or events")
+		return
+	}
+	res := s.enqueue(r.Context(), t)
+	if res.err != nil {
+		if res.status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeErr(w, res.status, "%v", res.err)
+		return
+	}
+	writeJSON(w, res.status, res.resp)
+}
+
+func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	res := s.enqueue(r.Context(), task{kind: recFinalize})
+	if res.err != nil {
+		writeErr(w, res.status, "%v", res.err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"phase": "serving"})
+}
+
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req DiagnoseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.mu.RLock()
+	finalized := s.finalized
+	eng := s.engines[req.App]
+	if req.Trace {
+		eng = s.traced[req.App]
+	}
+	s.mu.RUnlock()
+	if !finalized {
+		writeErr(w, http.StatusConflict, "not finalized: POST /v1/finalize first")
+		return
+	}
+	if eng == nil {
+		writeErr(w, http.StatusBadRequest, "unknown application %q", req.App)
+		return
+	}
+	resp := DiagnoseResponse{App: req.App, Diagnoses: []DiagnosisJSON{}}
+	switch {
+	case req.All:
+		for _, d := range eng.DiagnoseAll() {
+			resp.Diagnoses = append(resp.Diagnoses, diagnosisJSON(d))
+		}
+	default:
+		sym, ok := s.st.Get(req.ID)
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no event with id %d", req.ID)
+			return
+		}
+		if sym.Name != eng.Graph.Root {
+			writeErr(w, http.StatusBadRequest, "event %d is %q, not the %q symptom %q",
+				req.ID, sym.Name, req.App, eng.Graph.Root)
+			return
+		}
+		resp.Diagnoses = append(resp.Diagnoses, diagnosisJSON(eng.Diagnose(sym)))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		first, last, _ := s.st.Span()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"names": s.st.Names(), "events": s.st.Len(),
+			"span": map[string]any{"first": first, "last": last},
+		})
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	all := s.st.All(name)
+	if limit > 0 && len(all) > limit {
+		all = all[len(all)-limit:]
+	}
+	out := make([]EventJSON, 0, len(all))
+	for _, in := range all {
+		out = append(out, eventJSON(in))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": name, "events": out})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	first, last, _ := s.st.Span()
+	phase := "loading"
+	if s.isFinalized() {
+		phase = "serving"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"phase":    phase,
+		"events":   s.st.Len(),
+		"span":     map[string]any{"first": first, "last": last},
+		"recovery": s.recovery,
+		"sources":  s.coll.Summary(),
+		"metrics":  obs.Default().Snapshot(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	phase := "loading"
+	if s.isFinalized() {
+		phase = "serving"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "phase": phase})
+}
+
+// ---------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------
+
+// Start listens on addr and serves the API until Shutdown. It returns
+// the bound address (addr may carry port 0).
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go s.httpSrv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains gracefully: stop accepting work, let in-flight
+// requests finish, drain the applier queue, force-drain the streaming
+// processors, snapshot, and close the WAL and journal. Safe to call
+// once; the ctx bounds the HTTP drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	close(s.closing)
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	close(s.queue)
+	<-s.done
+	s.mu.RLock()
+	procs := s.procs
+	s.mu.RUnlock()
+	for _, a := range appSpecs() {
+		if p, ok := procs[a.name]; ok {
+			p.Close()
+		}
+	}
+	if e := s.log.Snapshot(); e != nil && err == nil {
+		err = e
+	}
+	if e := s.log.Close(); e != nil && err == nil {
+		err = e
+	}
+	if e := s.jour.Close(); e != nil && err == nil {
+		err = e
+	}
+	return err
+}

@@ -1,0 +1,418 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"grca/internal/collector"
+	"grca/internal/event"
+	"grca/internal/platform"
+	"grca/internal/simnet"
+	"grca/internal/wal"
+)
+
+// feedOrder mirrors the platform's canonical ingestion order; posting
+// feeds in this order is what makes serve byte-identical to batch.
+var feedOrder = []string{
+	collector.SourceOSPFMon, collector.SourceBGPMon, collector.SourceSyslog,
+	collector.SourceSNMP, collector.SourceTACACS, collector.SourceWorkflow,
+	collector.SourceLayer1, collector.SourcePerfMon, collector.SourceKeynote,
+	collector.SourceServer,
+}
+
+func testBundle(t *testing.T) (*simnet.Dataset, platform.Bundle) {
+	t.Helper()
+	d, err := simnet.Generate(simnet.Config{
+		Seed: 7, PoPs: 2, PERsPerPoP: 2, SessionsPerPER: 4,
+		Duration: 2 * 24 * time.Hour, BGPFlapIncidents: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, platform.BundleFromDataset(d)
+}
+
+func openServer(t *testing.T, dir string, b platform.Bundle) *Server {
+	t.Helper()
+	s, err := Open(Config{DataDir: dir, Bundle: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any) (int, []byte) {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func loadAndFinalize(t *testing.T, ts *httptest.Server, b platform.Bundle) {
+	t.Helper()
+	for _, src := range feedOrder {
+		feed, ok := b.Feeds[src]
+		if !ok {
+			continue
+		}
+		code, body := post(t, ts, "/v1/ingest", IngestRequest{Source: src, Lines: feed})
+		if code != http.StatusOK {
+			t.Fatalf("ingest %s: %d %s", src, code, body)
+		}
+	}
+	code, body := post(t, ts, "/v1/finalize", struct{}{})
+	if code != http.StatusOK {
+		t.Fatalf("finalize: %d %s", code, body)
+	}
+}
+
+// TestDiagnoseParityWithBatch is the service's defining contract:
+// feeding the same corpus over HTTP and diagnosing via POST /v1/diagnose
+// yields byte-identical diagnosis trees to the offline batch pipeline.
+func TestDiagnoseParityWithBatch(t *testing.T) {
+	d, b := testBundle(t)
+	s := openServer(t, t.TempDir(), b)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	loadAndFinalize(t, ts, b)
+
+	// Batch reference over the identical corpus.
+	sys, err := platform.FromDataset(d, platform.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := wal.StoreDigest(s.Store()), wal.StoreDigest(sys.Store); got != want {
+		t.Fatalf("served store digest differs from batch store (%d vs %d events)",
+			s.Store().Len(), sys.Store.Len())
+	}
+
+	for _, app := range []string{"bgpflap", "cdn"} {
+		spec := specFor(t, app)
+		eng, err := spec.newEngine(sys.Store, sys.View)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []DiagnosisJSON
+		for _, diag := range eng.DiagnoseAll() {
+			want = append(want, diagnosisJSON(diag))
+		}
+		wantJSON, err := json.Marshal(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		code, body := post(t, ts, "/v1/diagnose", DiagnoseRequest{App: app, All: true})
+		if code != http.StatusOK {
+			t.Fatalf("diagnose %s: %d %s", app, code, body)
+		}
+		var resp DiagnoseResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Diagnoses) == 0 && app == "bgpflap" {
+			t.Fatalf("%s: no diagnoses over a corpus with %d flap incidents", app, 40)
+		}
+		gotJSON, err := json.Marshal(resp.Diagnoses)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) == 0 {
+			if len(resp.Diagnoses) != 0 {
+				t.Fatalf("%s: server returned diagnoses where batch has none", app)
+			}
+			continue
+		}
+		if !bytes.Equal(gotJSON, wantJSON) {
+			t.Fatalf("%s: served diagnoses are not byte-identical to batch (%d vs %d)",
+				app, len(resp.Diagnoses), len(want))
+		}
+	}
+
+	// Single-symptom diagnosis matches the corresponding entry of All.
+	code, body := post(t, ts, "/v1/diagnose", DiagnoseRequest{App: "bgpflap", All: true})
+	if code != http.StatusOK {
+		t.Fatal(string(body))
+	}
+	var all DiagnoseResponse
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatal(err)
+	}
+	one := all.Diagnoses[0]
+	code, body = post(t, ts, "/v1/diagnose", DiagnoseRequest{App: "bgpflap", ID: one.Symptom.ID})
+	if code != http.StatusOK {
+		t.Fatal(string(body))
+	}
+	var single DiagnoseResponse
+	if err := json.Unmarshal(body, &single); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(single.Diagnoses[0])
+	bb, _ := json.Marshal(one)
+	if !bytes.Equal(a, bb) {
+		t.Fatal("by-ID diagnosis differs from the same symptom in All")
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func specFor(t *testing.T, name string) appSpec {
+	t.Helper()
+	for _, a := range appSpecs() {
+		if a.name == name {
+			return a
+		}
+	}
+	t.Fatalf("no app %q", name)
+	return appSpec{}
+}
+
+// TestRestartRecovery: a served corpus survives shutdown and reopen —
+// same store digest, same diagnosis bytes, phase still serving — and a
+// deleted WAL (the crashed-before-WAL-commit case) is rebuilt from the
+// ingest journal with identical results.
+func TestRestartRecovery(t *testing.T) {
+	_, b := testBundle(t)
+	dir := t.TempDir()
+	s := openServer(t, dir, b)
+	ts := httptest.NewServer(s.Handler())
+	loadAndFinalize(t, ts, b)
+	digest := wal.StoreDigest(s.Store())
+	_, diagBefore := post(t, ts, "/v1/diagnose", DiagnoseRequest{App: "bgpflap", All: true})
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, crash := range []bool{false, true} {
+		if crash {
+			// Crash persona: the WAL vanished (or tore) after the journal
+			// fsync — the journal must rebuild everything.
+			for _, sub := range []string{"wal", "snap"} {
+				if err := os.RemoveAll(filepath.Join(dir, sub)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		s2 := openServer(t, dir, b)
+		rec := s2.Recovery()
+		if !rec.Finalized {
+			t.Fatalf("crash=%v: recovery lost the finalized phase: %+v", crash, rec)
+		}
+		if rec.WALRebuilt != crash {
+			t.Fatalf("crash=%v: WALRebuilt=%v", crash, rec.WALRebuilt)
+		}
+		if got := wal.StoreDigest(s2.Store()); got != digest {
+			t.Fatalf("crash=%v: recovered store digest differs", crash)
+		}
+		ts2 := httptest.NewServer(s2.Handler())
+		_, diagAfter := post(t, ts2, "/v1/diagnose", DiagnoseRequest{App: "bgpflap", All: true})
+		if !bytes.Equal(diagBefore, diagAfter) {
+			t.Fatalf("crash=%v: post-restart diagnoses differ from pre-restart", crash)
+		}
+		ts2.Close()
+		if err := s2.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEventIngestStreaming: after finalize, normalized events flow
+// through the streaming processors and the response carries their
+// diagnoses; the events are durable like any other batch.
+func TestEventIngestStreaming(t *testing.T) {
+	_, b := testBundle(t)
+	dir := t.TempDir()
+	s := openServer(t, dir, b)
+	ts := httptest.NewServer(s.Handler())
+	loadAndFinalize(t, ts, b)
+	before := s.Store().Len()
+
+	at := b.Start.Add(b.Duration).Add(time.Hour)
+	sym := EventJSON{
+		Name: event.EBGPFlap, Start: at, End: at.Add(time.Minute),
+		Loc: LocationJSON{Type: "router:neighbor", A: "pop00-per1", B: "10.99.0.1"},
+	}
+	tick := EventJSON{
+		Name: "synthetic tick", Start: at.Add(48 * time.Hour), End: at.Add(48 * time.Hour),
+		Loc: LocationJSON{Type: "router", A: "pop00-per1"},
+	}
+	code, body := post(t, ts, "/v1/ingest", IngestRequest{Events: []EventJSON{sym, tick}})
+	if code != http.StatusOK {
+		t.Fatalf("event ingest: %d %s", code, body)
+	}
+	var resp IngestResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stored != 2 {
+		t.Fatalf("stored %d, want 2", resp.Stored)
+	}
+	if len(resp.Diagnoses) != 1 {
+		t.Fatalf("streaming diagnoses = %d, want 1 (tick advances past grace)", len(resp.Diagnoses))
+	}
+	if resp.Diagnoses[0].App != "bgpflap" {
+		t.Errorf("diagnosis app = %q", resp.Diagnoses[0].App)
+	}
+	if s.Store().Len() != before+2 {
+		t.Fatalf("store grew by %d, want 2", s.Store().Len()-before)
+	}
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The event batch is journaled + WAL'd: both survive restart.
+	s2 := openServer(t, dir, b)
+	if s2.Store().Len() != before+2 {
+		t.Fatalf("restart lost event-mode batch: %d, want %d", s2.Store().Len(), before+2)
+	}
+	if err := s2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestValidation: bad batches are rejected before they are
+// journaled, with the right statuses.
+func TestIngestValidation(t *testing.T) {
+	_, b := testBundle(t)
+	s := openServer(t, t.TempDir(), b)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, _ := post(t, ts, "/v1/ingest", IngestRequest{Source: "nosuch", Lines: "x"})
+	if code != http.StatusBadRequest {
+		t.Errorf("unknown source: %d", code)
+	}
+	code, _ = post(t, ts, "/v1/ingest", IngestRequest{})
+	if code != http.StatusBadRequest {
+		t.Errorf("empty request: %d", code)
+	}
+	code, _ = post(t, ts, "/v1/ingest", IngestRequest{Events: []EventJSON{{Name: ""}}})
+	if code != http.StatusBadRequest {
+		t.Errorf("nameless event: %d", code)
+	}
+	code, _ = post(t, ts, "/v1/diagnose", DiagnoseRequest{App: "bgpflap", All: true})
+	if code != http.StatusConflict {
+		t.Errorf("diagnose before finalize: %d", code)
+	}
+	// Finalize, then feeds must be refused (and journal replay must not
+	// see the refused batch — restart proves it).
+	if code, body := post(t, ts, "/v1/finalize", struct{}{}); code != http.StatusOK {
+		t.Fatalf("finalize: %d %s", code, body)
+	}
+	code, _ = post(t, ts, "/v1/ingest", IngestRequest{Source: collector.SourceSyslog, Lines: "x"})
+	if code != http.StatusConflict {
+		t.Errorf("feed after finalize: %d", code)
+	}
+	code, _ = post(t, ts, "/v1/finalize", struct{}{})
+	if code != http.StatusConflict {
+		t.Errorf("double finalize: %d", code)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackpressure429: a full ingest queue answers 429 + Retry-After
+// instead of buffering. The applier is deliberately absent, so the queue
+// stays full.
+func TestBackpressure429(t *testing.T) {
+	s := &Server{
+		cfg:     Config{MaxInflight: 2, RequestTimeout: time.Second},
+		queue:   make(chan task, 2),
+		closing: make(chan struct{}),
+	}
+	s.queue <- task{}
+	s.queue <- task{}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	data, _ := json.Marshal(IngestRequest{Events: []EventJSON{{
+		Name: "x", Start: time.Unix(0, 0).UTC(), End: time.Unix(1, 0).UTC(),
+		Loc: LocationJSON{Type: "router", A: "r0"},
+	}}})
+	resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+// TestHealthAndStats: the operational endpoints expose phase, span, and
+// the metrics registry.
+func TestHealthAndStats(t *testing.T) {
+	_, b := testBundle(t)
+	s := openServer(t, t.TempDir(), b)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get := func(path string) map[string]any {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", path, resp.StatusCode)
+		}
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	if got := get("/healthz")["phase"]; got != "loading" {
+		t.Errorf("phase = %v, want loading", got)
+	}
+	loadAndFinalize(t, ts, b)
+	if got := get("/healthz")["phase"]; got != "serving" {
+		t.Errorf("phase = %v, want serving", got)
+	}
+	stats := get("/v1/stats")
+	if stats["events"].(float64) <= 0 {
+		t.Error("stats reports no events after a full load")
+	}
+	if _, ok := stats["metrics"]; !ok {
+		t.Error("stats lacks the metrics snapshot")
+	}
+	ev := get("/v1/events")
+	if len(ev["names"].([]any)) == 0 {
+		t.Error("no event names listed")
+	}
+	name := ev["names"].([]any)[0].(string)
+	lim := get("/v1/events?name=" + url.QueryEscape(name) + "&limit=3")
+	if n := len(lim["events"].([]any)); n > 3 {
+		t.Errorf("limit ignored: %d events", n)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@
 package store
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -30,6 +31,8 @@ var (
 	mQueryResults  = obs.GetHistogram("store.query.results", obs.SizeBuckets)
 	mLazyResorts   = obs.GetCounter("store.lazy.resorts")
 	mQueryScanSkip = obs.GetCounter("store.query.scanned.nonoverlap")
+	mEvicted       = obs.GetCounter("store.evicted")
+	mEvictions     = obs.GetCounter("store.evictions")
 )
 
 type nameIndex struct {
@@ -47,10 +50,28 @@ type nameIndex struct {
 type Store struct {
 	mu     sync.RWMutex
 	byName map[string]*nameIndex
-	byID   []*event.Instance
+	// byID[i] holds the instance with ID base+i; a nil entry is an
+	// evicted instance (a tombstone — IDs are never reused). Leading
+	// tombstones are trimmed by advancing base.
+	byID []*event.Instance
+	base int
+	live int
 	// first/last maintain the store-wide time span incrementally so Span
 	// is O(1) instead of a full scan under the read lock.
 	first, last time.Time
+
+	// retention, when positive, bounds the store's look-back window:
+	// once the span exceeds retention (plus a 25% slack so eviction runs
+	// in amortized batches rather than per insert), instances whose End
+	// falls before last−retention are evicted.
+	retention time.Duration
+
+	// onAppend is invoked for every stored instance, under the write
+	// lock; it must be fast and must not call back into the store. It is
+	// the durability hook: a write-ahead log records instances here.
+	onAppend func(*event.Instance)
+	// onEvict is invoked after a retention eviction, outside the lock.
+	onEvict func(evicted int, cutoff time.Time)
 }
 
 // New returns an empty store.
@@ -58,19 +79,54 @@ func New() *Store {
 	return &Store{byName: map[string]*nameIndex{}}
 }
 
+// OnAppend registers fn to observe every stored instance. It is called
+// synchronously under the store's write lock, so it must be cheap and must
+// not call back into the store (enqueueing for a background writer is the
+// intended use). Set it before concurrent use.
+func (s *Store) OnAppend(fn func(*event.Instance)) { s.onAppend = fn }
+
+// OnEvict registers fn to run after each retention eviction, outside the
+// store lock, with the number of instances evicted and the cutoff applied.
+// Snapshot/compaction coordination hangs off this hook. Set it before
+// concurrent use.
+func (s *Store) OnEvict(fn func(evicted int, cutoff time.Time)) { s.onEvict = fn }
+
+// SetRetention bounds the store's look-back window: instances whose End
+// falls more than d before the latest stored End are evicted, amortized
+// over inserts. Zero disables eviction.
+func (s *Store) SetRetention(d time.Duration) {
+	s.mu.Lock()
+	s.retention = d
+	s.mu.Unlock()
+}
+
+// Retention returns the configured look-back window (zero = unbounded).
+func (s *Store) Retention() time.Duration {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.retention
+}
+
 // Add inserts a copy of in, assigns it a unique ID, and returns a pointer
 // to the stored instance.
 func (s *Store) Add(in event.Instance) *event.Instance {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.addLocked(in)
+	stored := s.addLocked(in)
+	n, cutoff := s.maybeEvictLocked()
+	cb := s.onEvict
+	s.mu.Unlock()
+	if n > 0 && cb != nil {
+		cb(n, cutoff)
+	}
+	return stored
 }
 
 func (s *Store) addLocked(in event.Instance) *event.Instance {
 	mAdds.Inc()
-	in.ID = len(s.byID)
+	in.ID = s.base + len(s.byID)
 	stored := &in
 	s.byID = append(s.byID, stored)
+	s.live++
 	idx := s.byName[in.Name]
 	if idx == nil {
 		idx = &nameIndex{}
@@ -83,11 +139,14 @@ func (s *Store) addLocked(in event.Instance) *event.Instance {
 	if d := in.Duration(); d > idx.maxDur {
 		idx.maxDur = d
 	}
-	if len(s.byID) == 1 || in.Start.Before(s.first) {
+	if s.live == 1 || in.Start.Before(s.first) {
 		s.first = in.Start
 	}
-	if len(s.byID) == 1 || in.End.After(s.last) {
+	if s.live == 1 || in.End.After(s.last) {
 		s.last = in.End
+	}
+	if s.onAppend != nil {
+		s.onAppend(stored)
 	}
 	return stored
 }
@@ -95,27 +154,43 @@ func (s *Store) addLocked(in event.Instance) *event.Instance {
 // AddAll inserts every instance, in order, under a single lock acquisition.
 func (s *Store) AddAll(ins []event.Instance) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, in := range ins {
 		s.addLocked(in)
 	}
+	n, cutoff := s.maybeEvictLocked()
+	cb := s.onEvict
+	s.mu.Unlock()
+	if n > 0 && cb != nil {
+		cb(n, cutoff)
+	}
 }
 
-// Get returns the instance with the given ID.
+// Get returns the instance with the given ID. Evicted IDs report not
+// found, exactly like IDs never assigned.
 func (s *Store) Get(id int) (*event.Instance, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if id < 0 || id >= len(s.byID) {
+	i := id - s.base
+	if i < 0 || i >= len(s.byID) || s.byID[i] == nil {
 		return nil, false
 	}
-	return s.byID[id], true
+	return s.byID[i], true
 }
 
-// Len returns the total number of stored instances.
+// Len returns the number of live (non-evicted) stored instances.
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.byID)
+	return s.live
+}
+
+// NextID returns the ID the next inserted instance will receive. IDs are
+// assigned sequentially and never reused, so NextID−1 identifies the most
+// recent insert even across evictions.
+func (s *Store) NextID() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.base + len(s.byID)
 }
 
 // Count returns the number of instances of the named event.
@@ -230,12 +305,172 @@ func (s *Store) All(name string) []*event.Instance {
 
 // Span returns the earliest start and latest end across the whole store;
 // ok is false for an empty store. The bounds are maintained incrementally
-// on insert, so this is O(1).
+// on insert and recomputed on eviction, so this is O(1).
 func (s *Store) Span() (first, last time.Time, ok bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if len(s.byID) == 0 {
+	if s.live == 0 {
 		return time.Time{}, time.Time{}, false
 	}
 	return s.first, s.last, true
+}
+
+// ---------------------------------------------------------------------
+// Retention eviction
+// ---------------------------------------------------------------------
+
+// EvictBefore removes every instance whose End falls strictly before
+// cutoff and returns how many were evicted. Evicted IDs stay tombstoned
+// (Get reports not found; later IDs are unchanged) and the Span bounds are
+// recomputed so they stay exact. The registered OnEvict hook, if any, runs
+// after the lock is released.
+func (s *Store) EvictBefore(cutoff time.Time) int {
+	s.mu.Lock()
+	n := s.evictLocked(cutoff)
+	cb := s.onEvict
+	s.mu.Unlock()
+	if n > 0 && cb != nil {
+		cb(n, cutoff)
+	}
+	return n
+}
+
+// maybeEvictLocked applies the retention window with 25% slack so the
+// O(n) sweep amortizes over many inserts.
+func (s *Store) maybeEvictLocked() (evicted int, cutoff time.Time) {
+	if s.retention <= 0 || s.live == 0 {
+		return 0, time.Time{}
+	}
+	if s.last.Sub(s.first) <= s.retention+s.retention/4 {
+		return 0, time.Time{}
+	}
+	cutoff = s.last.Add(-s.retention)
+	return s.evictLocked(cutoff), cutoff
+}
+
+func (s *Store) evictLocked(cutoff time.Time) int {
+	evicted := 0
+	for i, in := range s.byID {
+		if in != nil && in.End.Before(cutoff) {
+			s.byID[i] = nil
+			evicted++
+		}
+	}
+	if evicted == 0 {
+		return 0
+	}
+	s.live -= evicted
+	mEvicted.Add(int64(evicted))
+	mEvictions.Inc()
+	// Filter each name index in place; the kept instances stay in their
+	// prior relative order so sortedness (and dirtiness) is preserved.
+	// maxDur is left as an upper bound: a too-wide query bound only costs
+	// extra scan, never correctness.
+	for name, idx := range s.byName {
+		kept := idx.instances[:0]
+		for _, in := range idx.instances {
+			if !in.End.Before(cutoff) {
+				kept = append(kept, in)
+			}
+		}
+		for i := len(kept); i < len(idx.instances); i++ {
+			idx.instances[i] = nil
+		}
+		if len(kept) == 0 {
+			delete(s.byName, name)
+			continue
+		}
+		idx.instances = kept
+	}
+	// Trim leading tombstones, advancing the ID base; copy so the evicted
+	// prefix of the backing array is actually released.
+	trim := 0
+	for trim < len(s.byID) && s.byID[trim] == nil {
+		trim++
+	}
+	if trim > 0 {
+		s.byID = append([]*event.Instance(nil), s.byID[trim:]...)
+		s.base += trim
+	}
+	// Recompute the span bounds. Eviction is keyed on End < cutoff, so
+	// last never shrinks, but first can.
+	if s.live == 0 {
+		s.first, s.last = time.Time{}, time.Time{}
+		return evicted
+	}
+	first := time.Time{}
+	for _, in := range s.byID {
+		if in != nil && (first.IsZero() || in.Start.Before(first)) {
+			first = in.Start
+		}
+	}
+	s.first = first
+	return evicted
+}
+
+// ---------------------------------------------------------------------
+// Dump and restore (snapshot support)
+// ---------------------------------------------------------------------
+
+// Dump returns a copy of every live instance in ID order, together with
+// the ID of the first slot (base) and the ID the next insert will receive
+// (next). base..next−1 spans the live IDs plus any interior tombstones;
+// Restore rebuilds exactly this state.
+func (s *Store) Dump() (base, next int, ins []event.Instance) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	base, next = s.base, s.base+len(s.byID)
+	ins = make([]event.Instance, 0, s.live)
+	for _, in := range s.byID {
+		if in != nil {
+			ins = append(ins, *in)
+		}
+	}
+	return base, next, ins
+}
+
+// Restore rebuilds a dumped state into an empty store: each instance is
+// placed at its recorded ID, interior gaps stay tombstoned, and the next
+// insert receives ID next. It is the snapshot-recovery path; restoring
+// into a non-empty store is an error.
+func (s *Store) Restore(base, next int, ins []event.Instance) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.byID) != 0 || s.base != 0 {
+		return fmt.Errorf("store: Restore into a non-empty store")
+	}
+	if base < 0 || next < base || len(ins) > next-base {
+		return fmt.Errorf("store: Restore bounds [%d,%d) cannot hold %d instances", base, next, len(ins))
+	}
+	s.base = base
+	s.byID = make([]*event.Instance, next-base)
+	prev := base - 1
+	for _, in := range ins {
+		if in.ID <= prev || in.ID >= next {
+			return fmt.Errorf("store: Restore instance ID %d out of order for bounds [%d,%d)", in.ID, base, next)
+		}
+		prev = in.ID
+		stored := in
+		s.byID[in.ID-base] = &stored
+		s.live++
+		idx := s.byName[in.Name]
+		if idx == nil {
+			idx = &nameIndex{}
+			s.byName[in.Name] = idx
+		}
+		if n := len(idx.instances); n > 0 && idx.instances[n-1].Start.After(in.Start) {
+			idx.dirty = true
+		}
+		idx.instances = append(idx.instances, &stored)
+		if d := in.Duration(); d > idx.maxDur {
+			idx.maxDur = d
+		}
+		if s.live == 1 || in.Start.Before(s.first) {
+			s.first = in.Start
+		}
+		if s.live == 1 || in.End.After(s.last) {
+			s.last = in.End
+		}
+	}
+	return nil
 }

@@ -1,0 +1,73 @@
+package wal
+
+import (
+	"os"
+)
+
+// Journal is a flat append-only file of opaque framed records — the same
+// CRC32C framing as segments, without sequence numbers or snapshots. The
+// serving pipeline journals raw ingest batches here: the event WAL can
+// recover the normalized store byte-for-byte, but the collector's parse
+// state (routing simulations, pairing buffers, rolling baselines) is a
+// function of the raw input, so restart recovery replays this journal
+// through a fresh collector. Appends fsync before returning; an
+// acknowledged batch survives kill -9.
+type Journal struct {
+	f    *os.File
+	path string
+	buf  []byte
+}
+
+// ReplayJournal streams every committed record of the journal at path to
+// fn, truncating a torn tail in place (the longest-committed-prefix
+// contract, as for segments). A missing file is an empty journal.
+func ReplayJournal(path string, fn func(payload []byte) error) (truncated int64, err error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	off := int64(0)
+	rest := data
+	for len(rest) > 0 {
+		payload, r2, ok := readFrame(rest)
+		if !ok {
+			truncated = int64(len(rest))
+			if err := os.Truncate(path, off); err != nil {
+				return truncated, err
+			}
+			return truncated, nil
+		}
+		if err := fn(payload); err != nil {
+			return 0, err
+		}
+		off += int64(frameHeader + len(payload))
+		rest = r2
+	}
+	return 0, nil
+}
+
+// OpenJournal opens (creating as needed) the journal at path for
+// appending. Replay first: opening does not validate existing content.
+func OpenJournal(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Append frames, writes, and fsyncs one record. This is the serving
+// pipeline's batch commit point.
+func (j *Journal) Append(payload []byte) error {
+	j.buf = appendFrame(j.buf[:0], payload)
+	if _, err := j.f.Write(j.buf); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }

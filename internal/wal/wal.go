@@ -1,0 +1,520 @@
+// Package wal gives the G-RCA event store durability: a segmented,
+// append-only write-ahead log of normalized event instances with
+// per-record CRC32C framing, periodic snapshots of the full store, and
+// startup recovery that replays snapshot+tail into a byte-identical
+// store. The paper's platform ran as a shared service continuously fed by
+// many applications (§II); this package is what lets the reproduction
+// survive a restart without replaying raw feeds.
+//
+// # Layout and invariants
+//
+//	<dir>/wal/seg-<firstID>.log    framed records, IDs consecutive from firstID
+//	<dir>/snap/snap-<nextID>.snap  full store dump covering IDs < nextID
+//
+// A record's sequence number IS its store ID: the store assigns IDs
+// densely in insertion order and the log observes every insert through
+// the store's append hook, so position in the log and store ID never
+// disagree. Recovery restores the newest readable snapshot, then replays
+// exactly the records with ID ≥ the snapshot's next-ID. A torn final
+// record (crash mid-write) is truncated, not fatal: the recovered store
+// is the longest committed prefix of the log. Snapshots make the segments
+// below them redundant, so Snapshot deletes them — with the store's
+// retention eviction triggering snapshots, disk usage stays bounded the
+// same way the store's window bounds memory.
+//
+// # Concurrency
+//
+// One Log serves one Store. Inserts may come from any goroutine (the
+// append hook buffers under the log's own lock), but Commit, Snapshot,
+// and Close are meant to be driven by a single owner — the serving
+// pipeline's applier loop.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"grca/internal/event"
+	"grca/internal/obs"
+	"grca/internal/store"
+)
+
+// Durability metrics: commit and fsync volume tell an operator what the
+// chosen fsync policy actually costs; pending bytes is the loss window a
+// crash would tear off under -fsync=interval.
+var (
+	mAppends      = obs.GetCounter("wal.appends")
+	mCommits      = obs.GetCounter("wal.commits")
+	mFsyncs       = obs.GetCounter("wal.fsyncs")
+	mSnapshots    = obs.GetCounter("wal.snapshots")
+	mCompacted    = obs.GetCounter("wal.segments.compacted")
+	mPendingBytes = obs.GetGauge("wal.pending.bytes")
+	mCommitSecs   = obs.GetHistogram("wal.commit.seconds", obs.LatencyBuckets)
+)
+
+// FsyncPolicy selects when appended records are forced to stable storage.
+type FsyncPolicy string
+
+const (
+	// FsyncBatch syncs on every Commit — the applier calls Commit once
+	// per applied ingest batch, so an acknowledged batch is durable.
+	FsyncBatch FsyncPolicy = "batch"
+	// FsyncInterval syncs on a background timer; a crash may lose up to
+	// one interval of acknowledged records (never torn ones — framing
+	// still bounds the damage to the torn tail).
+	FsyncInterval FsyncPolicy = "interval"
+)
+
+// ParseFsyncPolicy resolves a policy name as written on the command line.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(strings.ToLower(strings.TrimSpace(s))) {
+	case FsyncBatch:
+		return FsyncBatch, nil
+	case FsyncInterval:
+		return FsyncInterval, nil
+	}
+	return "", fmt.Errorf("wal: unknown fsync policy %q (have batch, interval)", s)
+}
+
+// Options tunes a Log. The zero value takes every documented default.
+type Options struct {
+	// Fsync selects the durability policy (default FsyncBatch).
+	Fsync FsyncPolicy
+	// FsyncInterval is the background sync period under FsyncInterval
+	// (default 200ms).
+	FsyncInterval time.Duration
+	// SegmentBytes is the soft segment-rotation threshold (default 64MiB);
+	// flushes split at record boundaries, so a segment only exceeds it
+	// when a single record does.
+	SegmentBytes int64
+	// SnapshotEvery, when positive, auto-snapshots after that many
+	// records have been committed since the last snapshot. Zero leaves
+	// snapshots to explicit Snapshot calls (shutdown, eviction hooks).
+	SnapshotEvery int
+	// Retention, when positive, is the store's retention window. It is
+	// applied to the store before recovery so that replay re-evicts
+	// exactly as the original run did — recovering with a different
+	// retention than the log was written under yields a different store.
+	Retention time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.Fsync == "" {
+		o.Fsync = FsyncBatch
+	}
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 200 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+}
+
+// Recovery reports what Open reconstructed.
+type Recovery struct {
+	// SnapshotNext is the next-ID bound of the snapshot restored (0 =
+	// started from an empty store).
+	SnapshotNext int
+	// SnapshotLive is how many live instances the snapshot held.
+	SnapshotLive int
+	// Replayed is how many tail records were replayed from segments.
+	Replayed int
+	// TruncatedBytes is how much torn tail was cut off the log.
+	TruncatedBytes int64
+	// DroppedSegments counts whole segments discarded beyond a torn
+	// record.
+	DroppedSegments int
+}
+
+// Log is an open write-ahead log bound to one store.
+type Log struct {
+	dir  string
+	opts Options
+	st   *store.Store
+
+	mu         sync.Mutex
+	buf        []byte // framed records awaiting write
+	bufStarts  []int  // byte offset in buf where each pending record begins
+	scratch    []byte
+	bufRecords int
+	seg        *os.File
+	segPath    string
+	segBytes   int64
+	nextSeq    int // ID the next appended record will carry
+	snapNext   int // next-ID covered by the latest durable snapshot
+	sinceSnap  int // records committed since that snapshot
+	closed     bool
+	err        error // first write/sync failure; sticky
+
+	snapMu sync.Mutex // serializes Snapshot end to end
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open recovers the log under dir into a fresh store and returns both,
+// with the store's append hook attached so every subsequent insert is
+// logged. dir is created as needed.
+func Open(dir string, opts Options) (*Log, *store.Store, Recovery, error) {
+	opts.defaults()
+	for _, sub := range []string{walDir(dir), snapDir(dir)} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, nil, Recovery{}, err
+		}
+	}
+	l := &Log{dir: dir, opts: opts, st: store.New()}
+	if opts.Retention > 0 {
+		l.st.SetRetention(opts.Retention)
+	}
+	rec, err := l.recover()
+	if err != nil {
+		return nil, nil, rec, err
+	}
+	l.st.OnAppend(l.record)
+	if opts.Fsync == FsyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.flusher()
+	}
+	return l, l.st, rec, nil
+}
+
+// Store returns the store the log recovers into and observes.
+func (l *Log) Store() *store.Store { return l.st }
+
+// record is the store append hook: it frames the instance into the
+// pending buffer. Called under the store's write lock, so it only
+// touches the log's own state.
+func (l *Log) record(in *event.Instance) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	if in.ID != l.nextSeq {
+		// The store and log disagree on IDs — a second writer bypassed
+		// recovery. Poison the log rather than persist a corrupt order.
+		if l.err == nil {
+			l.err = fmt.Errorf("wal: append ID %d, log expects %d", in.ID, l.nextSeq)
+		}
+		return
+	}
+	l.scratch = appendInstance(l.scratch[:0], in)
+	l.bufStarts = append(l.bufStarts, len(l.buf))
+	l.buf = appendFrame(l.buf, l.scratch)
+	l.bufRecords++
+	l.nextSeq++
+	mAppends.Inc()
+	mPendingBytes.Set(int64(len(l.buf)))
+}
+
+// Commit writes the pending records to the active segment and, under
+// FsyncBatch, forces them to disk. It also rotates segments past the size
+// threshold and triggers an auto-snapshot when SnapshotEvery is due.
+// An acknowledged Commit under FsyncBatch means the records survive
+// kill -9.
+func (l *Log) Commit() error {
+	if err := l.flush(l.opts.Fsync == FsyncBatch); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	due := l.opts.SnapshotEvery > 0 && l.sinceSnap >= l.opts.SnapshotEvery
+	l.mu.Unlock()
+	if due {
+		return l.Snapshot()
+	}
+	return nil
+}
+
+// Sync flushes and fsyncs regardless of policy.
+func (l *Log) Sync() error { return l.flush(true) }
+
+func (l *Log) flush(sync bool) error {
+	began := obs.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushLocked(sync, began)
+}
+
+func (l *Log) flushLocked(sync bool, began time.Time) error {
+	if l.err != nil {
+		return l.err
+	}
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	if len(l.buf) == 0 {
+		return nil
+	}
+	// Write the buffer in chunks split at record boundaries, rotating
+	// between chunks, so every record of a segment is consecutive from the
+	// ID in its name and SegmentBytes bounds segment size (a lone record
+	// larger than the threshold still goes out whole).
+	recEnd := func(i int) int {
+		if i+1 < len(l.bufStarts) {
+			return l.bufStarts[i+1]
+		}
+		return len(l.buf)
+	}
+	first := l.nextSeq - l.bufRecords
+	written, off := 0, 0
+	for written < l.bufRecords {
+		if l.seg == nil || l.segBytes >= l.opts.SegmentBytes {
+			if err := l.rotateAtLocked(first + written); err != nil {
+				l.err = err
+				return err
+			}
+		}
+		capacity := l.opts.SegmentBytes - l.segBytes
+		end := written + 1 // always make progress
+		for end < l.bufRecords && int64(recEnd(end)-off) <= capacity {
+			end++
+		}
+		chunk := recEnd(end - 1)
+		n, err := l.seg.Write(l.buf[off:chunk])
+		l.segBytes += int64(n)
+		if err != nil {
+			l.err = err
+			return err
+		}
+		off, written = chunk, end
+	}
+	if sync {
+		if err := l.seg.Sync(); err != nil {
+			l.err = err
+			return err
+		}
+		mFsyncs.Inc()
+	}
+	l.sinceSnap += l.bufRecords
+	l.buf = l.buf[:0]
+	l.bufStarts = l.bufStarts[:0]
+	l.bufRecords = 0
+	mCommits.Inc()
+	mPendingBytes.Set(0)
+	mCommitSecs.ObserveDuration(obs.Since(began))
+	return nil
+}
+
+// rotateAtLocked syncs and closes the active segment and opens a fresh
+// one named for the ID of the next record it will hold.
+func (l *Log) rotateAtLocked(first int) error {
+	if l.seg != nil {
+		if err := l.seg.Sync(); err != nil {
+			return err
+		}
+		if err := l.seg.Close(); err != nil {
+			return err
+		}
+	}
+	path := segPath(l.dir, first)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	l.seg, l.segPath, l.segBytes = f, path, 0
+	return nil
+}
+
+// flusher is the FsyncInterval background loop.
+func (l *Log) flusher() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.err == nil && len(l.buf) > 0 {
+				l.flushLocked(true, obs.Now()) //nolint:errcheck // sticky in l.err
+			}
+			l.mu.Unlock()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// SinceSnapshot reports how many committed records the latest snapshot
+// does not cover.
+func (l *Log) SinceSnapshot() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sinceSnap
+}
+
+// Close flushes and syncs pending records and closes the active segment.
+// It does not snapshot; callers wanting a fast next boot call Snapshot
+// first.
+func (l *Log) Close() error {
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+		l.stop = nil
+	}
+	flushErr := l.flush(true)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return flushErr
+	}
+	l.closed = true
+	if l.seg != nil {
+		if err := l.seg.Close(); err != nil && flushErr == nil {
+			flushErr = err
+		}
+		l.seg = nil
+	}
+	return flushErr
+}
+
+// ---------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------
+
+func walDir(dir string) string  { return filepath.Join(dir, "wal") }
+func snapDir(dir string) string { return filepath.Join(dir, "snap") }
+
+func segPath(dir string, first int) string {
+	return filepath.Join(walDir(dir), fmt.Sprintf("seg-%016d.log", first))
+}
+
+// listNumbered returns the numbered files matching prefix/suffix in dir,
+// sorted ascending by their embedded number.
+func listNumbered(dir, prefix, suffix string) ([]string, []int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	type nf struct {
+		name string
+		n    int
+	}
+	var out []nf
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		num, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix))
+		if err != nil {
+			continue
+		}
+		out = append(out, nf{name, num})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].n < out[j].n })
+	names := make([]string, len(out))
+	nums := make([]int, len(out))
+	for i, f := range out {
+		names[i] = filepath.Join(dir, f.name)
+		nums[i] = f.n
+	}
+	return names, nums, nil
+}
+
+// recover restores the newest readable snapshot and replays the segment
+// tail. On a torn or corrupt record it truncates the log there and drops
+// any later segments: the recovered store is the longest committed
+// prefix.
+func (l *Log) recover() (Recovery, error) {
+	var rec Recovery
+	if err := l.loadLatestSnapshot(&rec); err != nil {
+		return rec, err
+	}
+	segs, firsts, err := listNumbered(walDir(l.dir), "seg-", ".log")
+	if err != nil {
+		return rec, err
+	}
+	expected := rec.SnapshotNext // next ID the store will assign
+	lastEnd := -1                // ID after the last record of the last kept segment
+	torn := false
+	for i, path := range segs {
+		if torn {
+			if err := os.Remove(path); err != nil {
+				return rec, err
+			}
+			rec.DroppedSegments++
+			continue
+		}
+		seq := firsts[i]
+		if seq > expected {
+			return rec, fmt.Errorf("wal: segment %s starts at ID %d, expected ≤ %d (missing segment?)", path, seq, expected)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return rec, err
+		}
+		off := int64(0)
+		rest := data
+		for len(rest) > 0 {
+			payload, r2, ok := readFrame(rest)
+			if !ok {
+				// Torn tail: cut the file back to the committed prefix.
+				torn = true
+				rec.TruncatedBytes += int64(len(rest))
+				if err := os.Truncate(path, off); err != nil {
+					return rec, err
+				}
+				break
+			}
+			if seq >= expected {
+				in, err := decodeInstance(payload)
+				if err != nil {
+					// Framing intact but the payload is gibberish — not a
+					// torn write, refuse to guess.
+					return rec, fmt.Errorf("wal: %s record %d: %v", path, seq, err)
+				}
+				stored := l.st.Add(in)
+				if stored.ID != seq {
+					return rec, fmt.Errorf("wal: %s replayed record %d got store ID %d", path, seq, stored.ID)
+				}
+				rec.Replayed++
+				expected = seq + 1
+			}
+			seq++
+			off += int64(frameHeader + len(payload))
+			rest = r2
+		}
+		lastEnd = seq
+	}
+	l.nextSeq = expected
+	l.snapNext = rec.SnapshotNext
+	l.sinceSnap = expected - rec.SnapshotNext
+
+	// Reopen the tail segment for appending — unless its record range
+	// would leave a numbering gap (all its records predate the snapshot
+	// restore point, or no segments survive), in which case start fresh.
+	if lastEnd == l.nextSeq && len(segs) > 0 {
+		last := segs[len(segs)-1]
+		if torn {
+			last = keptTail(segs, rec.DroppedSegments)
+		}
+		f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return rec, err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return rec, err
+		}
+		l.seg, l.segPath, l.segBytes = f, last, st.Size()
+		return rec, nil
+	}
+	if err := l.rotateAtLocked(l.nextSeq); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// keptTail returns the last segment that survived recovery when dropped
+// trailing segments were removed.
+func keptTail(segs []string, dropped int) string {
+	return segs[len(segs)-1-dropped]
+}

@@ -1,0 +1,425 @@
+package wal
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"grca/internal/event"
+	"grca/internal/locus"
+	"grca/internal/store"
+)
+
+// genEvents builds a deterministic mix of instances: varied names,
+// locations, durations, attribute maps, and mild time disorder — the
+// shapes the collector actually stores.
+func genEvents(seed int64, n int) []event.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	base := time.Date(2010, 1, 5, 0, 0, 0, 0, time.UTC)
+	names := []string{"BGP neighbor flap", "Interface down", "Link congestion", "syslog:LINK-3-UPDOWN"}
+	out := make([]event.Instance, n)
+	for i := range out {
+		start := base.Add(time.Duration(i)*11*time.Second - time.Duration(rng.Intn(20))*time.Second)
+		in := event.Instance{
+			Name:  names[rng.Intn(len(names))],
+			Start: start,
+			End:   start.Add(time.Duration(rng.Intn(600)) * time.Second),
+			Loc:   locus.Between(locus.Interface, fmt.Sprintf("r%d.pop%02d", rng.Intn(6), rng.Intn(3)), fmt.Sprintf("ge-0/0/%d", rng.Intn(4))),
+		}
+		if rng.Intn(2) == 0 {
+			in.Attrs = map[string]string{
+				"raw":  fmt.Sprintf("line %d", i),
+				"peer": fmt.Sprintf("10.0.%d.%d", rng.Intn(8), rng.Intn(250)),
+			}
+		}
+		out[i] = in
+	}
+	return out
+}
+
+// digestOfPrefix returns the digest of a store holding exactly the first
+// k generated events.
+func digestOfPrefix(ins []event.Instance, k int) string {
+	st := store.New()
+	st.AddAll(ins[:k])
+	return StoreDigest(st)
+}
+
+func TestRoundtripCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	ins := genEvents(1, 500)
+	l, st, rec, err := Open(dir, Options{SegmentBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotNext != 0 || rec.Replayed != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	st.AddAll(ins)
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, st2, rec2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec2.Replayed != len(ins) {
+		t.Fatalf("replayed %d records, want %d", rec2.Replayed, len(ins))
+	}
+	if got, want := StoreDigest(st2), StoreDigest(st); got != want {
+		t.Fatal("recovered store digest differs from the original")
+	}
+	// Appends continue with the right IDs after recovery.
+	more := genEvents(2, 50)
+	st2.AddAll(more)
+	if err := l2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, st3, rec3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec3.Replayed != len(ins)+len(more) {
+		t.Fatalf("second recovery replayed %d, want %d", rec3.Replayed, len(ins)+len(more))
+	}
+	if st3.Len() != len(ins)+len(more) {
+		t.Fatalf("recovered %d events, want %d", st3.Len(), len(ins)+len(more))
+	}
+}
+
+// TestCrashRecoveryProperty is the torn-write property test: the log is
+// cut at a random byte offset — between records, inside a record body,
+// inside a frame header — and recovery must produce a store
+// byte-identical to the longest committed prefix of records, never an
+// error.
+func TestCrashRecoveryProperty(t *testing.T) {
+	ins := genEvents(7, 400)
+	sizes := make([]int, len(ins))
+	total := 0
+	for i := range ins {
+		sizes[i] = encodedSize(&ins[i])
+		total += sizes[i]
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		dir := t.TempDir()
+		l, st, _, err := Open(dir, Options{SegmentBytes: 4 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.AddAll(ins)
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		cut := rng.Intn(total + 1)
+		if trial == 0 {
+			cut = total // no damage
+		}
+		crashAt(t, dir, cut)
+
+		// Longest committed prefix: records wholly below the cut.
+		k, cum := 0, 0
+		for k < len(ins) && cum+sizes[k] <= cut {
+			cum += sizes[k]
+			k++
+		}
+
+		l2, st2, rec, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("trial %d (cut %d): recovery failed: %v", trial, cut, err)
+		}
+		if got, want := StoreDigest(st2), digestOfPrefix(ins, k); got != want {
+			t.Fatalf("trial %d: cut %d bytes → recovered %d events, digest mismatch vs committed prefix %d",
+				trial, cut, st2.Len(), k)
+		}
+		if cut < total && rec.TruncatedBytes == 0 && k < len(ins) && cut != cumulativeEnd(sizes, k) {
+			t.Fatalf("trial %d: cut %d tore a record but recovery reported no truncation", trial, cut)
+		}
+		// The log must keep working after a torn recovery: append, close,
+		// reopen, and the tail must be there.
+		extra := genEvents(int64(1000+trial), 5)
+		st2.AddAll(extra)
+		if err := l2.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, st3, _, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st3.Len() != k+len(extra) {
+			t.Fatalf("trial %d: post-crash append lost events: %d, want %d", trial, st3.Len(), k+len(extra))
+		}
+	}
+}
+
+// cumulativeEnd returns the byte offset at which record k ends.
+func cumulativeEnd(sizes []int, k int) int {
+	sum := 0
+	for i := 0; i < k; i++ {
+		sum += sizes[i]
+	}
+	return sum
+}
+
+// crashAt simulates kill -9 at a global byte offset: the segment holding
+// the offset is truncated there and every later segment vanishes, as if
+// the page cache beyond the synced prefix was lost.
+func crashAt(t *testing.T, dir string, cut int) {
+	t.Helper()
+	segs, _, err := listNumbered(walDir(dir), "seg-", ".log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(cut)
+	for _, path := range segs {
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case off >= fi.Size():
+			off -= fi.Size()
+		case off <= 0:
+			if err := os.Remove(path); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if err := os.Truncate(path, off); err != nil {
+				t.Fatal(err)
+			}
+			off = 0
+		}
+	}
+}
+
+// TestSnapshotTailReplayDeterminism: with periodic snapshots and
+// commits interleaved, recovery = snapshot + tail replay; the result
+// must be byte-identical to a store that simply held every event (the
+// same equivalence the PR-4 cache-on/off tests pin for diagnosis).
+func TestSnapshotTailReplayDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	ins := genEvents(11, 900)
+	l, st, _, err := Open(dir, Options{SegmentBytes: 4 << 10, SnapshotEvery: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(ins); i += 30 {
+		end := i + 30
+		if end > len(ins) {
+			end = len(ins)
+		}
+		st.AddAll(ins[i:end])
+		if err := l.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snaps, _, err := listNumbered(snapDir(dir), "snap-", ".snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no auto-snapshot was written")
+	}
+	if len(snaps) > 2 {
+		t.Fatalf("%d snapshots retained, want ≤ 2", len(snaps))
+	}
+
+	_, st2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotNext == 0 {
+		t.Fatal("recovery ignored the snapshot")
+	}
+	if rec.Replayed >= len(ins) {
+		t.Fatalf("replayed %d records despite a snapshot at %d", rec.Replayed, rec.SnapshotNext)
+	}
+	if got, want := StoreDigest(st2), digestOfPrefix(ins, len(ins)); got != want {
+		t.Fatal("snapshot+tail recovery is not byte-identical to the full store")
+	}
+}
+
+// TestSnapshotCompactionBoundsDisk: segments fully covered by the older
+// retained snapshot are deleted (the newest snapshot keeps its history
+// around as its own fallback, so compaction trails one snapshot behind).
+func TestSnapshotCompactionBoundsDisk(t *testing.T) {
+	dir := t.TempDir()
+	ins := genEvents(13, 600)
+	l, st, _, err := Open(dir, Options{SegmentBytes: 2 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddAll(ins[:500])
+	if err := l.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	before, _, err := listNumbered(walDir(dir), "seg-", ".log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) < 3 {
+		t.Fatalf("test needs several segments, got %d", len(before))
+	}
+	st.AddAll(ins[500:])
+	if err := l.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	after, firsts, err := listNumbered(walDir(dir), "seg-", ".log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(before) {
+		t.Fatalf("second snapshot compacted nothing: %d segments before, %d after", len(before), len(after))
+	}
+	// Everything fully below the older snapshot (next-ID 500) must be
+	// gone: at most one surviving segment may start below it.
+	if len(after) > 1 && firsts[1] <= 500 {
+		t.Fatalf("segment fully below the older snapshot survived: firsts=%v", firsts)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, st2, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := StoreDigest(st2), StoreDigest(st); got != want {
+		t.Fatal("compaction changed the recovered state")
+	}
+}
+
+// TestEvictionSnapshotRecovery: retention eviction plus the OnEvict →
+// Snapshot wiring (what grca serve uses) must recover to the evicted
+// store's exact state, not resurrect evicted events.
+func TestEvictionSnapshotRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, st, _, err := Open(dir, Options{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetRetention(30 * time.Minute)
+	st.OnEvict(func(int, time.Time) {
+		if err := l.Snapshot(); err != nil {
+			t.Errorf("snapshot on evict: %v", err)
+		}
+	})
+	base := time.Date(2010, 1, 5, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 300; i++ {
+		at := base.Add(time.Duration(i) * time.Minute)
+		st.Add(event.Instance{Name: "tick", Start: at, End: at, Loc: locus.At(locus.Router, "r0")})
+		if i%20 == 19 {
+			if err := l.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() == 300 {
+		t.Fatal("retention evicted nothing")
+	}
+	first, last, ok := st.Span()
+	if !ok || last.Sub(first) > 40*time.Minute {
+		t.Fatalf("span %v–%v exceeds retention+slack", first, last)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, st2, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := StoreDigest(st2), StoreDigest(st); got != want {
+		t.Fatal("recovered store differs from the evicted original")
+	}
+}
+
+func TestIntervalFsyncCloseFlushes(t *testing.T) {
+	dir := t.TempDir()
+	ins := genEvents(17, 100)
+	l, st, _, err := Open(dir, Options{Fsync: FsyncInterval, FsyncInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddAll(ins)
+	// No explicit Commit: Close must flush the pending tail.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, st2, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Len() != len(ins) {
+		t.Fatalf("interval-fsync close lost events: %d, want %d", st2.Len(), len(ins))
+	}
+}
+
+func TestTornSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	ins := genEvents(19, 200)
+	l, st, _, err := Open(dir, Options{SegmentBytes: 4 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddAll(ins[:150])
+	if err := l.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	st.AddAll(ins[150:])
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest snapshot: recovery must fall back (here, to the
+	// segments alone, since only one snapshot exists... the tail after it
+	// is gone with the snapshot's coverage — so assert graceful handling,
+	// not full recovery).
+	snaps, _, err := listNumbered(snapDir(dir), "snap-", ".snap")
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("snapshots: %v (%d)", err, len(snaps))
+	}
+	data, err := os.ReadFile(snaps[len(snaps)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(snaps[len(snaps)-1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, st2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotNext != 0 {
+		t.Fatalf("corrupt snapshot was trusted: %+v", rec)
+	}
+	// Compaction only runs when a snapshot succeeds, so the full segment
+	// history is still there and recovery rebuilds everything.
+	if got, want := StoreDigest(st2), StoreDigest(st); got != want {
+		t.Fatal("fallback recovery lost data despite intact segments")
+	}
+}

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of `grca serve`:
+#   1. generate a simulated corpus
+#   2. start the service, load the corpus over HTTP, finalize
+#   3. stream normalized events with grca-load, recording throughput
+#   4. diagnose, SIGTERM, restart, and assert the event count and the
+#      diagnosis bytes survived the restart
+#
+# Usage: scripts/serve_smoke.sh [out.json]
+#   out.json  where to write the throughput report (default BENCH_SERVE.json)
+set -euo pipefail
+
+OUT="${1:-BENCH_SERVE.json}"
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+WORK="$(mktemp -d)"
+SERVE_PID=""
+MIN_EPS="${SERVE_SMOKE_MIN_EPS:-20000}"
+
+cleanup() {
+  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
+    kill -TERM "$SERVE_PID" 2>/dev/null || true
+    wait "$SERVE_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_phase() { # wait_phase <phase> — poll /healthz until the phase matches
+  want="$1"
+  for _ in $(seq 1 100); do
+    got=$(curl -fsS "$BASE/healthz" 2>/dev/null | python3 -c 'import json,sys; print(json.load(sys.stdin)["phase"])' 2>/dev/null || true)
+    [ "$got" = "$want" ] && return 0
+    sleep 0.2
+  done
+  echo "serve_smoke: timed out waiting for phase $want" >&2
+  exit 1
+}
+
+# Run the built binary directly: `go run` would receive the SIGTERM
+# itself and die without forwarding it to the server.
+start_serve() {
+  "$WORK/bin/grca" serve -addr "$ADDR" -data-dir "$WORK/data" -bundle "$WORK/corpus" -fsync batch &
+  SERVE_PID=$!
+}
+
+stop_serve() { # graceful SIGTERM drain
+  kill -TERM "$SERVE_PID"
+  wait "$SERVE_PID"
+  SERVE_PID=""
+}
+
+echo "== building binaries + generating corpus"
+go build ./...
+go build -o "$WORK/bin/" ./cmd/grca ./cmd/grca-load ./cmd/grca-sim
+"$WORK/bin/grca-sim" -out "$WORK/corpus" -seed 7 -pops 3 -pers 2 -sessions 6 -days 2 -bgp 80 -cdn 40 -pim 0
+
+echo "== starting serve"
+start_serve
+wait_phase loading
+
+echo "== loading feeds + streaming events over HTTP"
+"$WORK/bin/grca-load" -addr "$BASE" -bundle "$WORK/corpus" -events 100000 -batch 1000 -c 4 -o "$OUT"
+wait_phase serving
+
+EVENTS_BEFORE=$(curl -fsS "$BASE/v1/events" | python3 -c 'import json,sys; print(json.load(sys.stdin)["events"])')
+curl -fsS -X POST "$BASE/v1/diagnose" -d '{"app":"bgpflap","all":true}' > "$WORK/diag-before.json"
+echo "   $EVENTS_BEFORE events stored; $(python3 -c 'import json;print(len(json.load(open("'"$WORK"'/diag-before.json"))["diagnoses"]))') bgpflap diagnoses"
+
+echo "== SIGTERM + restart"
+stop_serve
+start_serve
+wait_phase serving
+
+EVENTS_AFTER=$(curl -fsS "$BASE/v1/events" | python3 -c 'import json,sys; print(json.load(sys.stdin)["events"])')
+curl -fsS -X POST "$BASE/v1/diagnose" -d '{"app":"bgpflap","all":true}' > "$WORK/diag-after.json"
+
+if [ "$EVENTS_BEFORE" != "$EVENTS_AFTER" ]; then
+  echo "serve_smoke: FAIL — event count $EVENTS_BEFORE before restart, $EVENTS_AFTER after" >&2
+  exit 1
+fi
+if ! cmp -s "$WORK/diag-before.json" "$WORK/diag-after.json"; then
+  echo "serve_smoke: FAIL — diagnosis output changed across restart" >&2
+  exit 1
+fi
+
+EPS=$(python3 -c 'import json; print(int(json.load(open("'"$OUT"'"))["events_per_sec"]))')
+echo "== restart preserved $EVENTS_AFTER events and identical diagnoses; ingest ran at $EPS events/s"
+if [ "$EPS" -lt "$MIN_EPS" ]; then
+  echo "serve_smoke: FAIL — $EPS events/s below floor $MIN_EPS" >&2
+  exit 1
+fi
+
+stop_serve
+echo "== serve_smoke OK ($OUT written)"
