@@ -18,6 +18,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,15 +42,17 @@ func main() {
 	batch := flag.Int("batch", 500, "events per ingest batch")
 	workers := flag.Int("c", 4, "concurrent streaming workers")
 	out := flag.String("o", "", "write the throughput report to this JSON file (default stdout)")
+	probe := flag.String("probe", "", "after streaming, GET this path repeatedly and report latency percentiles")
+	probes := flag.Int("probes", 200, "probe request count with -probe")
 	flag.Parse()
 
-	if err := run(*addr, *bundleDir, *events, *batch, *workers, *out); err != nil {
+	if err := run(*addr, *bundleDir, *events, *batch, *workers, *out, *probe, *probes); err != nil {
 		fmt.Fprintf(os.Stderr, "grca-load: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, bundleDir string, events, batchSize, workers int, out string) error {
+func run(addr, bundleDir string, events, batchSize, workers int, out, probe string, probes int) error {
 	start := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
 	if bundleDir != "" {
 		b, err := platform.Load(bundleDir)
@@ -154,6 +157,17 @@ func run(addr, bundleDir string, events, batchSize, workers int, out string) err
 		"events_per_sec": float64(atomic.LoadInt64(&sent)) / elapsed.Seconds(),
 		"retries_429":    atomic.LoadInt64(&rejected),
 	}
+	if probe != "" {
+		p50, p99, err := probeLatency(addr+probe, probes)
+		if err != nil {
+			return fmt.Errorf("probe %s: %v", probe, err)
+		}
+		report["probe"] = probe
+		report["probe_p50_ms"] = p50
+		report["probe_p99_ms"] = p99
+		fmt.Fprintf(os.Stderr, "grca-load: probe %s p50=%.2fms p99=%.2fms over %d requests\n",
+			probe, p50, p99, probes)
+	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -166,6 +180,39 @@ func run(addr, bundleDir string, events, batchSize, workers int, out string) err
 		return err
 	}
 	return os.WriteFile(out, data, 0o644)
+}
+
+// probeLatency GETs url n times sequentially and returns the p50/p99
+// request latencies in milliseconds — the serve-smoke job probes
+// /v1/breakdown before and after the event stream to assert the rollup
+// keeps its latency flat as the store grows.
+func probeLatency(url string, n int) (p50, p99 float64, err error) {
+	if n <= 0 {
+		n = 1
+	}
+	lat := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		began := time.Now()
+		resp, err := http.Get(url)
+		if err != nil {
+			return 0, 0, err
+		}
+		_, cerr := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if cerr != nil {
+			return 0, 0, cerr
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, 0, statusErr(resp.StatusCode)
+		}
+		lat = append(lat, float64(time.Since(began).Microseconds())/1000)
+	}
+	sort.Float64s(lat)
+	pct := func(q float64) float64 {
+		i := int(q * float64(len(lat)-1))
+		return lat[i]
+	}
+	return pct(0.50), pct(0.99), nil
 }
 
 func postCode(url string, body []byte) (int, error) {

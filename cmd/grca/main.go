@@ -9,6 +9,7 @@
 //	grca run cdn     -data /tmp/corpus [-trace] [-slowest 3] [-metrics-addr :6060]
 //	grca run pim     -data /tmp/corpus
 //	grca stats bgpflap -data /tmp/corpus # pipeline metrics after a batch + streaming pass
+//	grca stats -addr http://127.0.0.1:8080  # metrics from a running grca serve
 //	grca events
 //	grca rules
 //	grca bayes -data /tmp/corpus        # §IV-C group inference
@@ -16,10 +17,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"grca/internal/apps/backbone"
@@ -81,6 +85,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   grca run <bgpflap|cdn|pim|backbone> -data DIR [-score] [-trend DUR] [-show N] [-trace] [-slowest N] [-metrics-addr ADDR]
   grca stats <bgpflap|cdn|pim|backbone> -data DIR  # pipeline metrics after a batch + streaming pass
+  grca stats -addr URL                   # /v1/stats from a running grca serve
   grca events
   grca rules
   grca bayes -data DIR
@@ -261,8 +266,22 @@ func printDiagnosis(d engine.Diagnosis) {
 // metrics registry, giving the operator the numbers behind the paper's
 // §III latency claims without attaching a debugger.
 func runStats(args []string) error {
+	// Remote mode: `grca stats -addr http://host:port` fetches /v1/stats
+	// from a running `grca serve` instead of assembling a local bundle,
+	// so a live service can be inspected without shell access to it.
+	if len(args) >= 1 && strings.HasPrefix(args[0], "-") {
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		addr := fs.String("addr", "", "base URL of a running grca serve (e.g. http://127.0.0.1:8080)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if *addr == "" {
+			return fmt.Errorf("stats: application name or -addr required")
+		}
+		return remoteStats(*addr)
+	}
 	if len(args) < 1 {
-		return fmt.Errorf("stats: application name required")
+		return fmt.Errorf("stats: application name or -addr required")
 	}
 	a, ok := apps[args[0]]
 	if !ok {
@@ -329,6 +348,30 @@ func runStats(args []string) error {
 	}
 	fmt.Print("\n\n")
 	return obs.WriteText(os.Stdout, obs.Default().Snapshot())
+}
+
+// remoteStats renders a running server's /v1/stats in the same text
+// format the local stats path uses.
+func remoteStats(base string) error {
+	base = strings.TrimRight(base, "/")
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return fmt.Errorf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("stats: %s/v1/stats returned %s", base, resp.Status)
+	}
+	var body struct {
+		Phase   string       `json:"phase"`
+		Events  int          `json:"events"`
+		Metrics obs.Snapshot `json:"metrics"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("stats: decoding /v1/stats: %v", err)
+	}
+	fmt.Printf("%s: phase %s, %d events in store\n\n", base, body.Phase, body.Events)
+	return obs.WriteText(os.Stdout, body.Metrics)
 }
 
 func listEvents() error {

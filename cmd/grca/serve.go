@@ -30,7 +30,9 @@ func runServe(args []string) error {
 	retention := fs.Duration("retention", 0, "evict events older than this behind the stream head (0 = keep everything)")
 	maxInflight := fs.Int("max-inflight", 64, "ingest queue depth; beyond it clients get 429")
 	timeout := fs.Duration("request-timeout", 60*time.Second, "per-request applier wait bound")
-	metricsAddr := fs.String("metrics-addr", "", "serve expvar/pprof on this address (e.g. :6060)")
+	metricsAddr := fs.String("metrics-addr", "",
+		"serve expvar/pprof on a dedicated address (e.g. :6060); "+
+			"when unset, the same handlers are mounted on the main -addr under /debug/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +65,9 @@ func runServe(args []string) error {
 		Retention:      *retention,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
+		// No dedicated metrics listener: expose /debug/ on the main
+		// address so a single-port deployment still has expvar/pprof.
+		Debug: *metricsAddr == "",
 	})
 	if err != nil {
 		return err

@@ -23,26 +23,24 @@ import (
 
 // Row is one line of a root-cause breakdown table.
 type Row struct {
-	Label   string
-	Count   int
-	Percent float64
+	Label   string  `json:"label"`
+	Count   int     `json:"count"`
+	Percent float64 `json:"percent"`
 }
 
-// Breakdown aggregates diagnoses into table rows, applying an optional
-// display-label mapping (each application maps engine labels to its
-// paper-table row names). Rows are ordered by descending share.
-func Breakdown(ds []engine.Diagnosis, display func(string) string) []Row {
-	if display == nil {
-		display = func(s string) string { return s }
-	}
-	counts := map[string]int{}
-	for _, d := range ds {
-		counts[display(d.Primary())]++
+// Rows builds breakdown rows from per-label counts over total diagnoses,
+// ordered by descending share then label. It is the single aggregation
+// core shared by the batch Breakdown below and the serving rollups
+// (internal/rollup), so the live /v1/breakdown endpoint and the CLI
+// tables are byte-identical over the same counts by construction.
+func Rows(counts map[string]int, total int) []Row {
+	if total <= 0 {
+		return nil
 	}
 	rows := make([]Row, 0, len(counts))
 	for label, n := range counts {
 		rows = append(rows, Row{Label: label, Count: n,
-			Percent: 100 * float64(n) / float64(len(ds))})
+			Percent: 100 * float64(n) / float64(total)})
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].Percent != rows[j].Percent {
@@ -51,6 +49,27 @@ func Breakdown(ds []engine.Diagnosis, display func(string) string) []Row {
 		return rows[i].Label < rows[j].Label
 	})
 	return rows
+}
+
+// CountPrimary tallies diagnoses by (display-mapped) primary cause — the
+// counting half of Breakdown, reused wherever counts are merged from
+// several sources before rendering.
+func CountPrimary(ds []engine.Diagnosis, display func(string) string) map[string]int {
+	if display == nil {
+		display = func(s string) string { return s }
+	}
+	counts := map[string]int{}
+	for _, d := range ds {
+		counts[display(d.Primary())]++
+	}
+	return counts
+}
+
+// Breakdown aggregates diagnoses into table rows, applying an optional
+// display-label mapping (each application maps engine labels to its
+// paper-table row names). Rows are ordered by descending share.
+func Breakdown(ds []engine.Diagnosis, display func(string) string) []Row {
+	return Rows(CountPrimary(ds, display), len(ds))
 }
 
 // WriteTable renders rows in the paper's two-column table format.
@@ -99,14 +118,16 @@ func Unexplained() func(engine.Diagnosis) bool {
 
 // TrendPoint is one bin of a trend series.
 type TrendPoint struct {
-	Start time.Time
-	Count int
+	Start time.Time `json:"start"`
+	Count int       `json:"count"`
 }
 
-// Trend counts event instances of name per bin over [from, to) — the
-// trending view operators use to watch failure modes over time.
-func Trend(st *store.Store, name string, from, to time.Time, bin time.Duration) []TrendPoint {
-	if bin <= 0 || !to.After(from) {
+// NewSeries allocates the bin grid for a trend over [from, to]: one point
+// per bin of width bin, the last covering to. It is the series core
+// shared by Trend, TrendDiagnoses, and the serving rollups, so every
+// trend renderer agrees on bin count and bin starts by construction.
+func NewSeries(from, to time.Time, bin time.Duration) []TrendPoint {
+	if bin <= 0 || to.Before(from) {
 		return nil
 	}
 	n := int(to.Sub(from)/bin) + 1
@@ -114,9 +135,27 @@ func Trend(st *store.Store, name string, from, to time.Time, bin time.Duration) 
 	for i := range points {
 		points[i].Start = from.Add(time.Duration(i) * bin)
 	}
+	return points
+}
+
+// BinOf returns the series index of instant t on the grid starting at
+// from, or -1 when t precedes from.
+func BinOf(from, t time.Time, bin time.Duration) int {
+	if t.Before(from) {
+		return -1
+	}
+	return int(t.Sub(from) / bin)
+}
+
+// Trend counts event instances of name per bin over [from, to) — the
+// trending view operators use to watch failure modes over time.
+func Trend(st *store.Store, name string, from, to time.Time, bin time.Duration) []TrendPoint {
+	points := NewSeries(from, to, bin)
+	if points == nil || !to.After(from) {
+		return nil
+	}
 	for _, in := range st.Query(name, from, to) {
-		i := int(in.Start.Sub(from) / bin)
-		if i >= 0 && i < n {
+		if i := BinOf(from, in.Start, bin); i >= 0 && i < len(points) {
 			points[i].Count++
 		}
 	}

@@ -119,6 +119,9 @@ func TestScenarioMatrix(t *testing.T) {
 			if !scen.DigestMatch {
 				t.Error("crash-restart recovery was not byte-identical to the clean store")
 			}
+			if !scen.BreakdownMatch {
+				t.Error("rollup breakdown over the recovered store diverged from the batch browser breakdown")
+			}
 			if scen.Redelivered == 0 {
 				t.Error("crash-restart scenario lost (and redelivered) no uncommitted events")
 			}

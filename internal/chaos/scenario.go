@@ -1,6 +1,8 @@
 package chaos
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"time"
 
@@ -8,12 +10,14 @@ import (
 	"grca/internal/apps/bgpflap"
 	"grca/internal/apps/cdn"
 	"grca/internal/apps/pim"
+	"grca/internal/browser"
 	"grca/internal/dgraph"
 	"grca/internal/engine"
 	"grca/internal/event"
 	"grca/internal/netstate"
 	"grca/internal/platform"
 	"grca/internal/realtime"
+	"grca/internal/rollup"
 	"grca/internal/store"
 )
 
@@ -68,7 +72,13 @@ type Scenario struct {
 	Crashes     int  `json:",omitempty"`
 	Redelivered int  `json:",omitempty"`
 	DigestMatch bool `json:",omitempty"`
-	Apps        []AppScore
+	// BreakdownMatch reports whether, over the recovered store, the
+	// incremental rollup's per-cause breakdown is byte-identical to the
+	// batch browser.Breakdown for every application. Combined with
+	// DigestMatch this asserts the Result Browser aggregates survive a
+	// kill -9 restart exactly.
+	BreakdownMatch bool `json:",omitempty"`
+	Apps           []AppScore
 }
 
 // Report is the harness's machine-readable output. Every field is a pure
@@ -171,12 +181,33 @@ func RunMatrix(b platform.Bundle, cfg Config, opts Options) (*Report, error) {
 			}
 			scen.Crashes, scen.Redelivered, scen.DigestMatch =
 				res.Crashes, res.Redelivered, res.DigestMatch
+			scen.BreakdownMatch = true
 			for _, a := range apps {
 				eng, err := a.NewEngine(res.Store, cleanSys.View)
 				if err != nil {
 					return nil, fmt.Errorf("chaos: %s engine: %v", a.Name, err)
 				}
 				ds := eng.DiagnoseAll()
+				// Rebuild the Result Browser rollup from the recovered
+				// store the way the server does on restart and compare
+				// its breakdown byte-for-byte with the batch path.
+				roll := rollup.New(rollup.Config{})
+				roll.SeedEvents(res.Store)
+				for _, d := range ds {
+					roll.CountDiagnosis(a.Name, d)
+				}
+				counts, total := roll.BreakdownCounts(a.Name, time.Time{}, nil)
+				got, err := json.Marshal(browser.Rows(counts, total))
+				if err != nil {
+					return nil, fmt.Errorf("chaos: %s breakdown: %v", a.Name, err)
+				}
+				want, err := json.Marshal(browser.Breakdown(ds, nil))
+				if err != nil {
+					return nil, fmt.Errorf("chaos: %s breakdown: %v", a.Name, err)
+				}
+				if !bytes.Equal(got, want) {
+					scen.BreakdownMatch = false
+				}
 				sc := AppScore{App: a.Name, Symptoms: len(ds),
 					Score: Score(b.Truth, a.Study, ds, opts.Tolerance)}
 				sc.AccuracyDrop = cleanAcc[a.Name] - sc.Score.Accuracy

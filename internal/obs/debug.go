@@ -20,6 +20,21 @@ import (
 // endpoints unless ServeDebug is called. The server runs until the
 // process exits; the returned shutdown function closes it early (tests).
 func ServeDebug(addr string) (boundAddr string, shutdown func(), err error) {
+	mux := DebugMux()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // closed via shutdown or process exit
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// DebugMux returns a mux serving the debug handlers above, for embedding
+// under a prefix of an existing server instead of a dedicated listener —
+// `grca serve` mounts it on the main address when -metrics-addr is
+// unset.
+func DebugMux() *http.ServeMux {
 	Publish()
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -28,12 +43,5 @@ func ServeDebug(addr string) (boundAddr string, shutdown func(), err error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, err
-	}
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	go srv.Serve(ln) //nolint:errcheck // closed via shutdown or process exit
-	return ln.Addr().String(), func() { srv.Close() }, nil
+	return mux
 }

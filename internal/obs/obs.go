@@ -20,6 +20,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -197,6 +198,32 @@ func (b Bucket) MarshalJSON() ([]byte, error) {
 		return []byte(fmt.Sprintf(`{"upper":"+Inf","count":%d}`, b.Count)), nil
 	}
 	return []byte(fmt.Sprintf(`{"upper":%g,"count":%d}`, b.Upper, b.Count)), nil
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON, accepting either a float
+// bound or the string "+Inf" — the round-trip a remote stats client
+// (`grca stats -addr`) performs on a snapshot fetched over HTTP.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var wire struct {
+		Upper any   `json:"upper"`
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	b.Count = wire.Count
+	switch v := wire.Upper.(type) {
+	case float64:
+		b.Upper = v
+	case string:
+		if v != "+Inf" {
+			return fmt.Errorf("obs: bucket bound %q is neither a number nor +Inf", v)
+		}
+		b.Upper = math.Inf(1)
+	default:
+		return fmt.Errorf("obs: bucket bound %T is neither a number nor +Inf", wire.Upper)
+	}
+	return nil
 }
 
 // HistogramSnapshot is a consistent-enough copy of a histogram: counts

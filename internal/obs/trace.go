@@ -35,7 +35,8 @@ type Span struct {
 
 // Attr is one span annotation.
 type Attr struct {
-	Key, Value string
+	Key   string `json:"key"`
+	Value string `json:"value"`
 }
 
 // StartTrace opens a trace whose root span has the given name.
@@ -122,6 +123,40 @@ func (s *Span) AnnotateDuration(key string, d time.Duration) {
 		return
 	}
 	s.Attrs = append(s.Attrs, Attr{Key: key, Value: roundDur(d).String()})
+}
+
+// SpanJSON is the wire form of one span: durations as strings (rounded
+// exactly as the text renderer rounds them), attributes as an ordered
+// key=value list, children nested. It is the structured counterpart of
+// Write, used by the Result Browser's drill-down endpoint to ship a
+// diagnosis timeline to the dashboard.
+type SpanJSON struct {
+	Name     string     `json:"name"`
+	Duration string     `json:"duration"`
+	Attrs    []Attr     `json:"attrs,omitempty"`
+	Children []SpanJSON `json:"children,omitempty"`
+}
+
+// JSON exports the trace's span tree in wire form; nil for a nil or
+// unstarted trace.
+func (t *Trace) JSON() *SpanJSON {
+	if t == nil || t.root == nil {
+		return nil
+	}
+	out := t.root.json()
+	return &out
+}
+
+func (s *Span) json() SpanJSON {
+	out := SpanJSON{
+		Name:     s.Name,
+		Duration: roundDur(s.Duration).String(),
+		Attrs:    s.Attrs,
+	}
+	for _, c := range s.Children {
+		out.Children = append(out.Children, c.json())
+	}
+	return out
 }
 
 // Write renders the trace as an indented span tree:

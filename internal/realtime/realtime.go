@@ -14,6 +14,7 @@
 package realtime
 
 import (
+	"sync"
 	"time"
 
 	"grca/internal/dgraph"
@@ -56,8 +57,21 @@ type Processor struct {
 	// force-drained symptoms. Zero means unbounded.
 	MaxPending int
 
-	eng     *engine.Engine
-	st      *store.Store
+	// OnDiagnosis, when set, observes every diagnosis the processor
+	// emits — from grace-elapsed drains, MaxPending force-drains, Flush,
+	// and Close — on the goroutine driving the processor, before the
+	// diagnosis is returned to the caller. The serving pipeline uses it
+	// to fan emitted diagnoses out to the rollup aggregates and the SSE
+	// stream. Set it before observing events.
+	OnDiagnosis func(engine.Diagnosis)
+
+	eng *engine.Engine
+	st  *store.Store
+	// pmu guards pending (and closed) so PendingSymptoms can be read
+	// from other goroutines (the HTTP result-browser handlers) while the
+	// owning goroutine observes events. All other state is owned by the
+	// driving goroutine.
+	pmu     sync.Mutex
 	pending []*event.Instance
 	now     time.Time
 	late    int
@@ -112,7 +126,7 @@ func (p *Processor) ObserveStored(stored *event.Instance) (ds []engine.Diagnosis
 }
 
 func (p *Processor) observe(stored *event.Instance) (ds []engine.Diagnosis, late bool) {
-	if p.closed {
+	if p.isClosed() {
 		return nil, false
 	}
 	avail := stored.End
@@ -126,22 +140,39 @@ func (p *Processor) observe(stored *event.Instance) (ds []engine.Diagnosis, late
 		p.now = avail
 	}
 	if stored.Name == p.eng.Graph.Root {
+		p.pmu.Lock()
 		p.pending = append(p.pending, stored)
 		mPendingPeak.SetMax(int64(len(p.pending)))
+		p.pmu.Unlock()
 	}
 	ds = p.drain(false)
 	// Backpressure: force-drain the oldest pending symptoms beyond the
 	// queue bound.
-	for p.MaxPending > 0 && len(p.pending) > p.MaxPending {
+	for {
+		p.pmu.Lock()
+		if p.MaxPending <= 0 || len(p.pending) <= p.MaxPending {
+			p.pmu.Unlock()
+			break
+		}
 		sym := p.pending[0]
 		p.pending = p.pending[1:]
+		mPending.Set(int64(len(p.pending)))
+		p.pmu.Unlock()
 		p.forced++
 		mForced.Inc()
 		mDiagnosed.Inc()
-		ds = append(ds, p.eng.Diagnose(sym))
-		mPending.Set(int64(len(p.pending)))
+		ds = append(ds, p.emit(sym))
 	}
 	return ds, late
+}
+
+// emit diagnoses one symptom and fans the result out to OnDiagnosis.
+func (p *Processor) emit(sym *event.Instance) engine.Diagnosis {
+	d := p.eng.Diagnose(sym)
+	if p.OnDiagnosis != nil {
+		p.OnDiagnosis(d)
+	}
+	return d
 }
 
 // Flush diagnoses every still-pending symptom; call it when the stream
@@ -154,19 +185,41 @@ func (p *Processor) Flush() []engine.Diagnosis { return p.drain(true) }
 // further observations are ignored. Used on serving-pipeline shutdown,
 // where the stream stops mid-grace rather than ending.
 func (p *Processor) Close() []engine.Diagnosis {
-	if p.closed {
+	if p.isClosed() {
 		return nil
 	}
-	n := len(p.pending)
+	n := p.Pending()
 	ds := p.drain(true)
 	p.forced += n
 	mForced.Add(int64(n))
+	p.pmu.Lock()
 	p.closed = true
+	p.pmu.Unlock()
 	return ds
 }
 
+func (p *Processor) isClosed() bool {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	return p.closed
+}
+
 // Pending reports how many symptoms await their grace period.
-func (p *Processor) Pending() int { return len(p.pending) }
+func (p *Processor) Pending() int {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	return len(p.pending)
+}
+
+// PendingSymptoms returns a snapshot of the symptoms awaiting their
+// grace period, in observation order. Safe to call from any goroutine;
+// the result browser merges these (diagnosed on demand) into the rollup
+// aggregates so a breakdown always covers every stored symptom.
+func (p *Processor) PendingSymptoms() []*event.Instance {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	return append([]*event.Instance(nil), p.pending...)
+}
 
 // Late reports how many observed instances arrived beyond the grace
 // window (and so were invisible to any already-emitted diagnosis).
@@ -177,21 +230,33 @@ func (p *Processor) Late() int { return p.late }
 func (p *Processor) Forced() int { return p.forced }
 
 func (p *Processor) drain(all bool) []engine.Diagnosis {
-	var out []engine.Diagnosis
+	// Partition under the lock, diagnose outside it: Diagnose hits the
+	// store and the spatial cache and must not serialize against
+	// PendingSymptoms readers.
+	var ripe []*event.Instance
+	p.pmu.Lock()
 	kept := p.pending[:0]
 	for _, sym := range p.pending {
 		if all || !sym.End.Add(p.Grace).After(p.now) {
-			// Grace wait in event time: how far the stream clock ran past
-			// the symptom's end before it could be safely diagnosed.
-			mGraceWait.ObserveDuration(p.now.Sub(sym.End))
-			mDiagnosed.Inc()
-			out = append(out, p.eng.Diagnose(sym))
+			ripe = append(ripe, sym)
 		} else {
 			kept = append(kept, sym)
 		}
 	}
+	for i := len(kept); i < len(p.pending); i++ {
+		p.pending[i] = nil
+	}
 	p.pending = kept
 	mPending.Set(int64(len(p.pending)))
+	p.pmu.Unlock()
+	var out []engine.Diagnosis
+	for _, sym := range ripe {
+		// Grace wait in event time: how far the stream clock ran past
+		// the symptom's end before it could be safely diagnosed.
+		mGraceWait.ObserveDuration(p.now.Sub(sym.End))
+		mDiagnosed.Inc()
+		out = append(out, p.emit(sym))
+	}
 	return out
 }
 

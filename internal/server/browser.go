@@ -1,0 +1,431 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"grca/internal/browser"
+	"grca/internal/engine"
+	"grca/internal/locus"
+	"grca/internal/obs"
+	"grca/internal/rollup"
+)
+
+// The live Result Browser (paper §II-F): breakdown tables, trending,
+// cause filtering, drill-down, and the SSE diagnosis stream. Breakdown
+// and trend answer from the incremental rollups maintained on the
+// ingest/diagnose path (internal/rollup); the only per-request diagnosis
+// work is the handful of symptoms still inside their grace window.
+
+var mBrowserSecs = obs.GetHistogram("server.http.browser.seconds", obs.LatencyBuckets)
+
+// StreamDiagnosisJSON is one diagnosis on the Result Browser stream: a
+// DiagnosisJSON plus its stream sequence number (the SSE event id).
+type StreamDiagnosisJSON struct {
+	Seq int64 `json:"seq"`
+	DiagnosisJSON
+}
+
+// streamFrame renders one ring entry as a complete SSE frame.
+func streamFrame(e rollup.Entry) []byte {
+	dj := diagnosisJSON(e.D)
+	dj.App = e.App
+	body, err := json.Marshal(StreamDiagnosisJSON{Seq: e.Seq, DiagnosisJSON: dj})
+	if err != nil {
+		return nil
+	}
+	return []byte(fmt.Sprintf("id: %d\nevent: diagnosis\ndata: %s\n\n", e.Seq, body))
+}
+
+// browserApp resolves the app query parameter to its display mapping,
+// writing the error response itself on failure.
+func (s *Server) browserApp(w http.ResponseWriter, r *http.Request) (string, func(string) string, bool) {
+	if !s.isFinalized() {
+		writeErr(w, http.StatusConflict, "not finalized: POST /v1/finalize first")
+		return "", nil, false
+	}
+	app := r.URL.Query().Get("app")
+	for _, a := range appSpecs() {
+		if a.name == app {
+			return app, a.display, true
+		}
+	}
+	if app == "" {
+		writeErr(w, http.StatusBadRequest, "app parameter required")
+	} else {
+		writeErr(w, http.StatusBadRequest, "unknown application %q", app)
+	}
+	return "", nil, false
+}
+
+// pendingDiagnoses diagnoses, on demand, the symptoms still pending in
+// app's realtime processor — the delta between the rollup counters and
+// the full store that BreakdownCounts/CauseTrend merge back in.
+func (s *Server) pendingDiagnoses(app string) []engine.Diagnosis {
+	s.mu.RLock()
+	p := s.procs[app]
+	eng := s.engines[app]
+	s.mu.RUnlock()
+	if p == nil || eng == nil {
+		return nil
+	}
+	syms := p.PendingSymptoms()
+	ds := make([]engine.Diagnosis, 0, len(syms))
+	for _, sym := range syms {
+		ds = append(ds, eng.Diagnose(sym))
+	}
+	return ds
+}
+
+// handleBreakdown serves GET /v1/breakdown?app=&window=: the root-cause
+// breakdown table (display labels), equal to the batch browser.Breakdown
+// over one full-evidence diagnosis of every live root symptom.
+func (s *Server) handleBreakdown(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	app, display, ok := s.browserApp(w, r)
+	if !ok {
+		return
+	}
+	var from time.Time
+	window := r.URL.Query().Get("window")
+	if window != "" {
+		d, err := time.ParseDuration(window)
+		if err != nil || d <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad window %q (want a positive duration)", window)
+			return
+		}
+		if _, last, ok := s.st.Span(); ok {
+			from = last.Add(-d)
+		}
+	}
+	counts, total := s.roll.BreakdownCounts(app, from, s.pendingDiagnoses(app))
+	mapped := make(map[string]int, len(counts))
+	for label, n := range counts {
+		mapped[display(label)] += n
+	}
+	rows := browser.Rows(mapped, total)
+	if rows == nil {
+		rows = []browser.Row{}
+	}
+	resp := map[string]any{"app": app, "total": total, "rows": rows}
+	if window != "" {
+		resp["window"] = window
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCauses serves GET /v1/causes?app=: the raw root-cause labels
+// (the filter/trend vocabulary) with live counts.
+func (s *Server) handleCauses(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	app, _, ok := s.browserApp(w, r)
+	if !ok {
+		return
+	}
+	counts, total := s.roll.BreakdownCounts(app, time.Time{}, s.pendingDiagnoses(app))
+	rows := browser.Rows(counts, total)
+	if rows == nil {
+		rows = []browser.Row{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"app": app, "total": total, "causes": rows})
+}
+
+// handleTrend serves GET /v1/trend: per-bin counts of an event name
+// (?name=) or of a diagnosed cause (?app=&cause=, raw label) over
+// [from, to]. bin must be a multiple of the rollup base bin; from is
+// truncated onto the bin grid; defaults cover the store span, where the
+// series equals the batch browser.Trend exactly.
+func (s *Server) handleTrend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	bin := s.roll.Bin()
+	if v := q.Get("bin"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad bin %q (want a positive duration)", v)
+			return
+		}
+		if d%s.roll.Bin() != 0 {
+			writeErr(w, http.StatusBadRequest, "bin %v must be a multiple of the base bin %v", d, s.roll.Bin())
+			return
+		}
+		bin = d
+	}
+	first, last, haveSpan := s.st.Span()
+	from, to := first, last
+	if v := q.Get("from"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad from %q: %v", v, err)
+			return
+		}
+		from = t
+	}
+	if v := q.Get("to"); v != "" {
+		t, err := time.Parse(time.RFC3339, v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad to %q: %v", v, err)
+			return
+		}
+		to = t
+	}
+	from = from.Truncate(bin)
+
+	name, cause := q.Get("name"), q.Get("cause")
+	var points []browser.TrendPoint
+	resp := map[string]any{"bin": bin.String(), "from": from, "to": to}
+	switch {
+	case cause != "":
+		app, _, ok := s.browserApp(w, r)
+		if !ok {
+			return
+		}
+		resp["app"], resp["cause"] = app, cause
+		if haveSpan {
+			points = s.roll.CauseTrend(app, cause, from, to, bin, s.pendingDiagnoses(app))
+		}
+	case name != "":
+		resp["name"] = name
+		if haveSpan {
+			points = s.roll.Trend(name, from, to, bin)
+		}
+	default:
+		writeErr(w, http.StatusBadRequest, "provide name= (event trend) or app=&cause= (cause trend)")
+		return
+	}
+	if points == nil {
+		points = []browser.TrendPoint{}
+	}
+	resp["points"] = points
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// drilldown defaults: how far around the symptom to look and at which
+// spatial join level.
+const (
+	defaultDrillWindow = 15 * time.Minute
+	defaultDrillLevel  = locus.Router
+)
+
+// handleDrilldown serves GET /v1/drilldown/{id}?app=&window=&level=: the
+// full investigation view for one stored symptom — a traced diagnosis
+// (evidence chain plus staged timings) and every co-located raw event
+// within the window, the paper's §IV-B manual exploration.
+func (s *Server) handleDrilldown(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if !s.isFinalized() {
+		writeErr(w, http.StatusConflict, "not finalized: POST /v1/finalize first")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/drilldown/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad event id %q", idStr)
+		return
+	}
+	sym, ok := s.st.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no event with id %d", id)
+		return
+	}
+	q := r.URL.Query()
+	app := q.Get("app")
+	s.mu.RLock()
+	view := s.view
+	if app == "" {
+		for _, a := range appSpecs() {
+			if eng := s.engines[a.name]; eng != nil && eng.Graph.Root == sym.Name {
+				app = a.name
+				break
+			}
+		}
+	}
+	teng := s.traced[app]
+	s.mu.RUnlock()
+	if teng == nil {
+		if app == "" {
+			writeErr(w, http.StatusBadRequest,
+				"event %d (%q) is no application's root symptom; pass app=", id, sym.Name)
+		} else {
+			writeErr(w, http.StatusBadRequest, "unknown application %q", app)
+		}
+		return
+	}
+	window := defaultDrillWindow
+	if v := q.Get("window"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			writeErr(w, http.StatusBadRequest, "bad window %q", v)
+			return
+		}
+		window = d
+	}
+	level := defaultDrillLevel
+	if v := q.Get("level"); v != "" {
+		t, err := locus.ParseType(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		level = t
+	}
+	d := teng.Diagnose(sym)
+	colocated, err := browser.DrillDown(s.st, view, sym, window, level)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "drill-down: %v", err)
+		return
+	}
+	evs := make([]EventJSON, 0, len(colocated))
+	for _, in := range colocated {
+		evs = append(evs, eventJSON(in))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": id, "app": app,
+		"window": window.String(), "level": level.String(),
+		"diagnosis": diagnosisJSON(d),
+		"trace":     d.Trace.JSON(),
+		"colocated": evs,
+	})
+}
+
+// handleRecent serves GET /v1/recent?after=&limit=: the ring of recent
+// streaming diagnoses, the poll-based sibling of /v1/stream.
+func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	q := r.URL.Query()
+	after := int64(0)
+	if v := q.Get("after"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad after %q", v)
+			return
+		}
+		after = n
+	}
+	limit := 50
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", v)
+			return
+		}
+		limit = n
+	}
+	out := []StreamDiagnosisJSON{}
+	for _, e := range s.roll.RecentSince(after, limit) {
+		dj := diagnosisJSON(e.D)
+		dj.App = e.App
+		out = append(out, StreamDiagnosisJSON{Seq: e.Seq, DiagnosisJSON: dj})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"last_seq": s.roll.LastSeq(), "diagnoses": out,
+	})
+}
+
+// handleStream serves GET /v1/stream: fresh diagnoses over SSE. A client
+// may catch up with ?after=<seq> (every ring entry past seq) or
+// ?replay=<n> (the last n ring entries) before going live. Each client
+// gets a bounded buffer; one that stops reading is evicted rather than
+// backpressuring the ingest path, and reconnects from its last seen id.
+// Deliberately not wrapped in the request timeout: the stream lives
+// until the client leaves or the server drains.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	q := r.URL.Query()
+	after := int64(-1)
+	if v := q.Get("after"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad after %q", v)
+			return
+		}
+		after = n
+	}
+	if v := q.Get("replay"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad replay %q", v)
+			return
+		}
+		if after = s.roll.LastSeq() - int64(n); after < 0 {
+			after = 0
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe before replaying so nothing published in between is
+	// lost; duplicates from that overlap are dropped by sequence below.
+	c := s.hub.subscribe()
+	defer s.hub.unsubscribe(c)
+	last := int64(0)
+	if after >= 0 {
+		last = after
+		for _, e := range s.roll.RecentSince(after, 0) {
+			if _, err := w.Write(streamFrame(e)); err != nil {
+				return
+			}
+			last = e.Seq
+		}
+	} else {
+		last = s.roll.LastSeq()
+	}
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case m, ok := <-c.ch:
+			if !ok {
+				return // evicted as a slow consumer
+			}
+			if m.seq <= last {
+				continue
+			}
+			if _, err := w.Write(m.frame); err != nil {
+				return
+			}
+			last = m.seq
+			flusher.Flush()
+		case <-heartbeat.C:
+			if _, err := fmt.Fprint(w, ": heartbeat\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.closing:
+			return
+		}
+	}
+}

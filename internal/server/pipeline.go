@@ -60,6 +60,7 @@ import (
 	"grca/internal/obs"
 	"grca/internal/platform"
 	"grca/internal/realtime"
+	"grca/internal/rollup"
 	"grca/internal/store"
 	"grca/internal/wal"
 )
@@ -102,19 +103,22 @@ func decodeRecord(p []byte) (kind byte, source string, body []byte, err error) {
 	return kind, string(p[sz : sz+int(n)]), p[sz+int(n):], nil
 }
 
-// appSpec binds one packaged RCA application to the service.
+// appSpec binds one packaged RCA application to the service. display
+// maps raw engine labels to the application's paper-table row names —
+// the Result Browser's breakdown vocabulary.
 type appSpec struct {
 	name      string
 	build     func() (*event.Library, *dgraph.Graph, error)
 	newEngine func(*store.Store, *netstate.View) (*engine.Engine, error)
+	display   func(string) string
 }
 
 func appSpecs() []appSpec {
 	return []appSpec{
-		{"bgpflap", bgpflap.Build, bgpflap.NewEngine},
-		{"cdn", cdn.Build, cdn.NewEngine},
-		{"pim", pim.Build, pim.NewEngine},
-		{"backbone", backbone.Build, backbone.NewEngine},
+		{"bgpflap", bgpflap.Build, bgpflap.NewEngine, bgpflap.DisplayLabel},
+		{"cdn", cdn.Build, cdn.NewEngine, cdn.DisplayLabel},
+		{"pim", pim.Build, pim.NewEngine, pim.DisplayLabel},
+		{"backbone", backbone.Build, backbone.NewEngine, backbone.DisplayLabel},
 	}
 }
 
@@ -161,6 +165,10 @@ type Config struct {
 	// RequestTimeout bounds one request's wait for the applier (default
 	// 60s).
 	RequestTimeout time.Duration
+	// Debug mounts the expvar/pprof debug handlers under /debug/ on the
+	// main API address — the single-port deployment; a dedicated metrics
+	// listener (obs.ServeDebug) is the alternative.
+	Debug bool
 }
 
 func (c *Config) defaults() {
@@ -208,6 +216,11 @@ type Server struct {
 	engines   map[string]*engine.Engine
 	traced    map[string]*engine.Engine // tracing twins of engines
 	procs     map[string]*realtime.Processor
+
+	// roll holds the Result Browser's incremental aggregates; hub fans
+	// streaming diagnoses out to SSE clients. Both exist from Open on.
+	roll *rollup.Rollup
+	hub  *sseHub
 
 	closing  chan struct{}
 	httpSrv  *http.Server
@@ -296,6 +309,8 @@ func Open(cfg Config) (*Server, error) {
 
 	s := &Server{
 		cfg: cfg, topo: topo, log: l, st: st, jour: jour, coll: coll,
+		roll:    rollup.New(rollup.Config{}),
+		hub:     newSSEHub(),
 		queue:   make(chan task, cfg.MaxInflight),
 		done:    make(chan struct{}),
 		closing: make(chan struct{}),
@@ -304,7 +319,14 @@ func Open(cfg Config) (*Server, error) {
 			Events: st.Len(), WALRebuilt: rebuilt,
 		},
 	}
-	st.OnEvict(func(int, time.Time) {
+	// The Result Browser rollups: seed the trend bins from the recovered
+	// store (Restore bypasses the append hook), then track every future
+	// append and eviction incrementally. Cause counters are seeded by
+	// installServing once engines exist.
+	s.roll.SeedEvents(st)
+	st.OnAppend(s.roll.ObserveEvent)
+	st.OnEvict(s.roll.EvictEvents)
+	st.OnEvict(func([]*event.Instance, time.Time) {
 		// Runs on the applier goroutine (the only writer): evicting the
 		// store is the moment to snapshot, so segment compaction keeps
 		// disk bounded the same way retention bounds memory.
@@ -409,6 +431,32 @@ func (s *Server) installServing(rebuildTails bool) error {
 			rebuildTail(s.st, p)
 		}
 		procs[a.name] = p
+	}
+	// Seed the breakdown rollups: one full-evidence diagnosis of every
+	// stored root symptom per application, so the Result Browser's
+	// invariant (breakdown ≡ batch browser.Breakdown over the live
+	// store) holds from the first request — including right after a
+	// crash recovery, where this re-derives the identical counters
+	// deterministically. Symptoms still pending in a processor are
+	// counted too; their eventual grace-elapsed drain re-counts them
+	// with the (by then unchanged) full evidence.
+	for _, a := range appSpecs() {
+		for _, d := range engines[a.name].DiagnoseAllParallel(0) {
+			s.roll.CountDiagnosis(a.name, d)
+		}
+	}
+	// Fan live diagnoses out to the rollup counters, the recent ring,
+	// and the SSE stream. Installed after the tail rebuild so its
+	// replayed emissions (already served before the crash) don't reach
+	// the ring.
+	for _, a := range appSpecs() {
+		name := a.name
+		procs[name].OnDiagnosis = func(d engine.Diagnosis) {
+			seq := s.roll.AddDiagnosis(name, d)
+			if s.hub.active() {
+				s.hub.publish(seq, streamFrame(rollup.Entry{Seq: seq, App: name, D: d}))
+			}
+		}
 	}
 	s.mu.Lock()
 	s.finalized, s.view, s.engines, s.traced, s.procs = true, view, engines, traced, procs

@@ -28,12 +28,22 @@ const maxBody = 8 << 20
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/ingest    one batch of raw feed lines or normalized events
-//	POST /v1/finalize  close the feeds, build the view, start serving
-//	POST /v1/diagnose  diagnose one stored symptom (or all) for an app
-//	GET  /v1/events    list stored events (?name=&limit=)
-//	GET  /v1/stats     phase, store, collector, and metrics snapshot
-//	GET  /healthz      liveness + phase
+//	POST /v1/ingest         one batch of raw feed lines or normalized events
+//	POST /v1/finalize       close the feeds, build the view, start serving
+//	POST /v1/diagnose       diagnose one stored symptom (or all) for an app
+//	GET  /v1/events         list stored events (?name=&limit=&after=)
+//	GET  /v1/stats          phase, store, collector, and metrics snapshot
+//	GET  /v1/breakdown      live root-cause breakdown (?app=&window=)
+//	GET  /v1/trend          per-bin series (?name= | ?app=&cause=; &bin=&from=&to=)
+//	GET  /v1/causes         raw cause labels with counts (?app=)
+//	GET  /v1/drilldown/{id} traced diagnosis + co-located events (?app=&window=&level=)
+//	GET  /v1/recent         recent streaming diagnoses (?after=&limit=)
+//	GET  /v1/stream         SSE diagnosis stream (?after= | ?replay=)
+//	GET  /browser/          embedded Result Browser dashboard
+//	GET  /healthz           liveness + phase
+//
+// With Config.Debug, expvar and pprof are additionally mounted under
+// /debug/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/ingest", s.timed(mIngestSecs, s.handleIngest))
@@ -41,7 +51,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/diagnose", s.timed(mDiagnoseSecs, s.handleDiagnose))
 	mux.HandleFunc("/v1/events", s.timed(mEventsSecs, s.handleEvents))
 	mux.HandleFunc("/v1/stats", s.timed(mStatsSecs, s.handleStats))
+	mux.HandleFunc("/v1/breakdown", s.timed(mBrowserSecs, s.handleBreakdown))
+	mux.HandleFunc("/v1/trend", s.timed(mBrowserSecs, s.handleTrend))
+	mux.HandleFunc("/v1/causes", s.timed(mBrowserSecs, s.handleCauses))
+	mux.HandleFunc("/v1/drilldown/", s.timed(mBrowserSecs, s.handleDrilldown))
+	mux.HandleFunc("/v1/recent", s.timed(mBrowserSecs, s.handleRecent))
+	// The stream outlives any request timeout; it is bounded by the
+	// client and server lifetimes instead of s.timed.
+	mux.HandleFunc("/v1/stream", s.handleStream)
+	mux.HandleFunc("/browser/", s.handleDashboard)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.cfg.Debug {
+		mux.Handle("/debug/", obs.DebugMux())
+	}
 	return mux
 }
 
@@ -201,13 +223,21 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// Event listing pagination: responses are bounded regardless of store
+// size — a 100k-event store answers in pages, never one giant array.
+const (
+	defaultEventsPage = 1000
+	maxEventsPage     = 10000
+)
+
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeErr(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	name := r.URL.Query().Get("name")
-	if name == "" {
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" && !q.Has("limit") && !q.Has("after") {
 		first, last, _ := s.st.Span()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"names": s.st.Names(), "events": s.st.Len(),
@@ -215,24 +245,41 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	limit := 0
-	if v := r.URL.Query().Get("limit"); v != "" {
+	limit := defaultEventsPage
+	if v := q.Get("limit"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
 			writeErr(w, http.StatusBadRequest, "bad limit %q", v)
 			return
 		}
-		limit = n
+		if n > 0 {
+			limit = n
+		}
 	}
-	all := s.st.All(name)
-	if limit > 0 && len(all) > limit {
-		all = all[len(all)-limit:]
+	if limit > maxEventsPage {
+		limit = maxEventsPage
 	}
-	out := make([]EventJSON, 0, len(all))
-	for _, in := range all {
+	// Cursor: return live instances with ID > after, in insertion order;
+	// resume from the returned next cursor.
+	after := -1
+	if v := q.Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad after %q", v)
+			return
+		}
+		after = n
+	}
+	ins, more := s.st.ScanAfter(name, after, limit)
+	out := make([]EventJSON, 0, len(ins))
+	for _, in := range ins {
 		out = append(out, eventJSON(in))
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"name": name, "events": out})
+	resp := map[string]any{"name": name, "events": out, "more": more}
+	if more && len(ins) > 0 {
+		resp["next"] = ins[len(ins)-1].ID
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"sync"
+
+	"grca/internal/obs"
+)
+
+var (
+	mSSEClients = obs.GetGauge("server.sse.clients")
+	mSSEEvicted = obs.GetCounter("server.sse.evicted")
+	mSSESent    = obs.GetCounter("server.sse.sent")
+)
+
+// sseClientBuf bounds one subscriber's unread backlog. The publisher
+// never blocks: a client that falls this far behind is evicted (its
+// channel closed), because a diagnosis stream that backs up into the
+// ingest path would turn one slow reader into service-wide
+// backpressure. Evicted clients reconnect and catch up via ?after=.
+const sseClientBuf = 64
+
+// sseMsg is one published stream frame. Seq lets a freshly-subscribed
+// handler skip frames it already served from the replay ring.
+type sseMsg struct {
+	seq   int64
+	frame []byte
+}
+
+type sseClient struct {
+	ch chan sseMsg
+}
+
+// sseHub fans diagnosis frames out to the connected /v1/stream clients.
+// publish runs on the applier goroutine and must stay non-blocking.
+type sseHub struct {
+	mu      sync.Mutex
+	clients map[*sseClient]struct{}
+}
+
+func newSSEHub() *sseHub {
+	return &sseHub{clients: map[*sseClient]struct{}{}}
+}
+
+// active reports whether anyone is subscribed — lets the publisher skip
+// frame marshaling when nobody is listening.
+func (h *sseHub) active() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.clients) > 0
+}
+
+func (h *sseHub) subscribe() *sseClient {
+	c := &sseClient{ch: make(chan sseMsg, sseClientBuf)}
+	h.mu.Lock()
+	h.clients[c] = struct{}{}
+	mSSEClients.Set(int64(len(h.clients)))
+	h.mu.Unlock()
+	return c
+}
+
+// unsubscribe detaches a client; safe to call after an eviction already
+// removed it.
+func (h *sseHub) unsubscribe(c *sseClient) {
+	h.mu.Lock()
+	if _, ok := h.clients[c]; ok {
+		delete(h.clients, c)
+		close(c.ch)
+	}
+	mSSEClients.Set(int64(len(h.clients)))
+	h.mu.Unlock()
+}
+
+// publish delivers one frame to every subscriber without blocking: a
+// client with a full buffer is evicted and its channel closed, which its
+// handler observes as end-of-stream.
+func (h *sseHub) publish(seq int64, frame []byte) {
+	m := sseMsg{seq: seq, frame: frame}
+	h.mu.Lock()
+	for c := range h.clients {
+		select {
+		case c.ch <- m:
+			mSSESent.Inc()
+		default:
+			delete(h.clients, c)
+			close(c.ch)
+			mSSEEvicted.Inc()
+		}
+	}
+	mSSEClients.Set(int64(len(h.clients)))
+	h.mu.Unlock()
+}

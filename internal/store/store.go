@@ -66,12 +66,14 @@ type Store struct {
 	// falls before last−retention are evicted.
 	retention time.Duration
 
-	// onAppend is invoked for every stored instance, under the write
-	// lock; it must be fast and must not call back into the store. It is
-	// the durability hook: a write-ahead log records instances here.
-	onAppend func(*event.Instance)
-	// onEvict is invoked after a retention eviction, outside the lock.
-	onEvict func(evicted int, cutoff time.Time)
+	// onAppend hooks are invoked for every stored instance, under the
+	// write lock, in registration order; they must be fast and must not
+	// call back into the store. The WAL records instances here; the
+	// serving rollups maintain their aggregates here.
+	onAppend []func(*event.Instance)
+	// onEvict hooks are invoked after a retention eviction, outside the
+	// lock, with the evicted instances and the cutoff applied.
+	onEvict []func(evicted []*event.Instance, cutoff time.Time)
 }
 
 // New returns an empty store.
@@ -79,17 +81,21 @@ func New() *Store {
 	return &Store{byName: map[string]*nameIndex{}}
 }
 
-// OnAppend registers fn to observe every stored instance. It is called
-// synchronously under the store's write lock, so it must be cheap and must
-// not call back into the store (enqueueing for a background writer is the
-// intended use). Set it before concurrent use.
-func (s *Store) OnAppend(fn func(*event.Instance)) { s.onAppend = fn }
+// OnAppend registers fn to observe every stored instance. Hooks
+// accumulate and run in registration order. Each is called synchronously
+// under the store's write lock, so it must be cheap and must not call
+// back into the store (enqueueing for a background writer is the
+// intended use). Register hooks before concurrent use.
+func (s *Store) OnAppend(fn func(*event.Instance)) { s.onAppend = append(s.onAppend, fn) }
 
 // OnEvict registers fn to run after each retention eviction, outside the
-// store lock, with the number of instances evicted and the cutoff applied.
-// Snapshot/compaction coordination hangs off this hook. Set it before
-// concurrent use.
-func (s *Store) OnEvict(fn func(evicted int, cutoff time.Time)) { s.onEvict = fn }
+// store lock, with the evicted instances and the cutoff applied. Hooks
+// accumulate and run in registration order. Snapshot/compaction
+// coordination and rollup decrements hang off this hook. Register hooks
+// before concurrent use.
+func (s *Store) OnEvict(fn func(evicted []*event.Instance, cutoff time.Time)) {
+	s.onEvict = append(s.onEvict, fn)
+}
 
 // SetRetention bounds the store's look-back window: instances whose End
 // falls more than d before the latest stored End are evicted, amortized
@@ -112,11 +118,13 @@ func (s *Store) Retention() time.Duration {
 func (s *Store) Add(in event.Instance) *event.Instance {
 	s.mu.Lock()
 	stored := s.addLocked(in)
-	n, cutoff := s.maybeEvictLocked()
-	cb := s.onEvict
+	gone, cutoff := s.maybeEvictLocked()
+	cbs := s.onEvict
 	s.mu.Unlock()
-	if n > 0 && cb != nil {
-		cb(n, cutoff)
+	if len(gone) > 0 {
+		for _, cb := range cbs {
+			cb(gone, cutoff)
+		}
 	}
 	return stored
 }
@@ -145,8 +153,8 @@ func (s *Store) addLocked(in event.Instance) *event.Instance {
 	if s.live == 1 || in.End.After(s.last) {
 		s.last = in.End
 	}
-	if s.onAppend != nil {
-		s.onAppend(stored)
+	for _, fn := range s.onAppend {
+		fn(stored)
 	}
 	return stored
 }
@@ -157,11 +165,13 @@ func (s *Store) AddAll(ins []event.Instance) {
 	for _, in := range ins {
 		s.addLocked(in)
 	}
-	n, cutoff := s.maybeEvictLocked()
-	cb := s.onEvict
+	gone, cutoff := s.maybeEvictLocked()
+	cbs := s.onEvict
 	s.mu.Unlock()
-	if n > 0 && cb != nil {
-		cb(n, cutoff)
+	if len(gone) > 0 {
+		for _, cb := range cbs {
+			cb(gone, cutoff)
+		}
 	}
 }
 
@@ -303,6 +313,35 @@ func (s *Store) All(name string) []*event.Instance {
 	return append([]*event.Instance(nil), idx.instances...)
 }
 
+// ScanAfter returns up to limit live instances with ID > after, in ID
+// (insertion) order, optionally restricted to one event name ("" matches
+// every name). more reports whether further matching instances remain —
+// the caller resumes with after = out[len(out)-1].ID. This is the
+// pagination primitive behind the HTTP list endpoints: a bounded slice
+// per call instead of one unbounded array for the whole store.
+func (s *Store) ScanAfter(name string, after, limit int) (out []*event.Instance, more bool) {
+	if limit <= 0 {
+		return nil, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	i := after + 1 - s.base
+	if i < 0 {
+		i = 0
+	}
+	for ; i < len(s.byID); i++ {
+		in := s.byID[i]
+		if in == nil || (name != "" && in.Name != name) {
+			continue
+		}
+		if len(out) == limit {
+			return out, true
+		}
+		out = append(out, in)
+	}
+	return out, false
+}
+
 // Span returns the earliest start and latest end across the whole store;
 // ok is false for an empty store. The bounds are maintained incrementally
 // on insert and recomputed on eviction, so this is O(1).
@@ -322,42 +361,45 @@ func (s *Store) Span() (first, last time.Time, ok bool) {
 // EvictBefore removes every instance whose End falls strictly before
 // cutoff and returns how many were evicted. Evicted IDs stay tombstoned
 // (Get reports not found; later IDs are unchanged) and the Span bounds are
-// recomputed so they stay exact. The registered OnEvict hook, if any, runs
+// recomputed so they stay exact. The registered OnEvict hooks, if any, run
 // after the lock is released.
 func (s *Store) EvictBefore(cutoff time.Time) int {
 	s.mu.Lock()
-	n := s.evictLocked(cutoff)
-	cb := s.onEvict
+	gone := s.evictLocked(cutoff)
+	cbs := s.onEvict
 	s.mu.Unlock()
-	if n > 0 && cb != nil {
-		cb(n, cutoff)
+	if len(gone) > 0 {
+		for _, cb := range cbs {
+			cb(gone, cutoff)
+		}
 	}
-	return n
+	return len(gone)
 }
 
 // maybeEvictLocked applies the retention window with 25% slack so the
 // O(n) sweep amortizes over many inserts.
-func (s *Store) maybeEvictLocked() (evicted int, cutoff time.Time) {
+func (s *Store) maybeEvictLocked() (evicted []*event.Instance, cutoff time.Time) {
 	if s.retention <= 0 || s.live == 0 {
-		return 0, time.Time{}
+		return nil, time.Time{}
 	}
 	if s.last.Sub(s.first) <= s.retention+s.retention/4 {
-		return 0, time.Time{}
+		return nil, time.Time{}
 	}
 	cutoff = s.last.Add(-s.retention)
 	return s.evictLocked(cutoff), cutoff
 }
 
-func (s *Store) evictLocked(cutoff time.Time) int {
-	evicted := 0
+func (s *Store) evictLocked(cutoff time.Time) []*event.Instance {
+	var gone []*event.Instance
 	for i, in := range s.byID {
 		if in != nil && in.End.Before(cutoff) {
+			gone = append(gone, in)
 			s.byID[i] = nil
-			evicted++
 		}
 	}
+	evicted := len(gone)
 	if evicted == 0 {
-		return 0
+		return nil
 	}
 	s.live -= evicted
 	mEvicted.Add(int64(evicted))
@@ -396,7 +438,7 @@ func (s *Store) evictLocked(cutoff time.Time) int {
 	// last never shrinks, but first can.
 	if s.live == 0 {
 		s.first, s.last = time.Time{}, time.Time{}
-		return evicted
+		return gone
 	}
 	first := time.Time{}
 	for _, in := range s.byID {
@@ -405,7 +447,7 @@ func (s *Store) evictLocked(cutoff time.Time) int {
 		}
 	}
 	s.first = first
-	return evicted
+	return gone
 }
 
 // ---------------------------------------------------------------------

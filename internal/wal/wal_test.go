@@ -318,7 +318,7 @@ func TestEvictionSnapshotRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	st.SetRetention(30 * time.Minute)
-	st.OnEvict(func(int, time.Time) {
+	st.OnEvict(func([]*event.Instance, time.Time) {
 		if err := l.Snapshot(); err != nil {
 			t.Errorf("snapshot on evict: %v", err)
 		}

@@ -2,9 +2,13 @@
 # serve_smoke.sh — end-to-end smoke test of `grca serve`:
 #   1. generate a simulated corpus
 #   2. start the service, load the corpus over HTTP, finalize
-#   3. stream normalized events with grca-load, recording throughput
-#   4. diagnose, SIGTERM, restart, and assert the event count and the
-#      diagnosis bytes survived the restart
+#   3. stream normalized events with grca-load, recording throughput and
+#      /v1/breakdown latency at a small and a ~10x larger store (the
+#      rollup keeps it flat; the ratio is gated)
+#   4. exercise the Result Browser: breakdown, trend, drilldown, and one
+#      SSE diagnosis event, failing on non-200 or empty aggregates
+#   5. diagnose, SIGTERM, restart, and assert the event count, the
+#      diagnosis bytes, and the breakdown bytes survived the restart
 #
 # Usage: scripts/serve_smoke.sh [out.json]
 #   out.json  where to write the throughput report (default BENCH_SERVE.json)
@@ -16,6 +20,10 @@ BASE="http://$ADDR"
 WORK="$(mktemp -d)"
 SERVE_PID=""
 MIN_EPS="${SERVE_SMOKE_MIN_EPS:-20000}"
+# The rollup answers /v1/breakdown from pre-computed counters, so p99
+# must stay roughly flat as the store grows ~10x. The gate is lenient
+# (sub-ms latencies are noisy on shared CI boxes).
+MAX_P99_RATIO="${SERVE_SMOKE_MAX_P99_RATIO:-1.5}"
 
 cleanup() {
   if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
@@ -59,10 +67,60 @@ echo "== starting serve"
 start_serve
 wait_phase loading
 
-echo "== loading feeds + streaming events over HTTP"
-"$WORK/bin/grca-load" -addr "$BASE" -bundle "$WORK/corpus" -events 100000 -batch 1000 -c 4 -o "$OUT"
+PROBE="/v1/breakdown?app=bgpflap"
+echo "== loading feeds + streaming 10k events (small-store breakdown probe)"
+"$WORK/bin/grca-load" -addr "$BASE" -bundle "$WORK/corpus" -events 10000 -batch 1000 -c 4 \
+  -probe "$PROBE" -probes 300 -o "$WORK/load-small.json"
 wait_phase serving
 
+echo "== streaming 90k more events (large-store breakdown probe)"
+"$WORK/bin/grca-load" -addr "$BASE" -events 90000 -batch 1000 -c 4 \
+  -probe "$PROBE" -probes 300 -o "$OUT"
+
+echo "== exercising the Result Browser endpoints"
+browse() { # browse <path> <python-expr over parsed json r> <label>
+  local body
+  body=$(curl -fsS "$BASE$1") || { echo "serve_smoke: FAIL — GET $1" >&2; exit 1; }
+  echo "$body" | python3 -c "import json,sys; r=json.load(sys.stdin); assert $2, '$3: '+json.dumps(r)[:200]" \
+    || { echo "serve_smoke: FAIL — $3 ($1)" >&2; exit 1; }
+}
+browse "/v1/breakdown?app=bgpflap" 'r["total"] > 0 and len(r["rows"]) > 0' "empty breakdown"
+browse "/v1/trend?name=eBGP%20flap&bin=1h" 'sum(p["count"] for p in r["points"]) > 0' "empty trend"
+browse "/v1/causes?app=bgpflap" 'len(r["causes"]) > 0' "empty causes"
+SYM_ID=$(curl -fsS -X POST "$BASE/v1/diagnose" -d '{"app":"bgpflap","all":true}' \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["diagnoses"][0]["symptom"]["id"])')
+browse "/v1/drilldown/$SYM_ID" 'r["diagnosis"]["label"] and r["trace"]' "empty drilldown"
+
+# One SSE event: the ring holds live streaming diagnoses only (the 100k
+# interface-up events stream none), so trigger one — a symptom plus a
+# tick event that advances the stream clock past its grace window — then
+# read it back with a replay catch-up.
+NOW_END=$(curl -fsS "$BASE/v1/events" | python3 -c 'import json,sys; print(json.load(sys.stdin)["span"]["last"])')
+python3 - "$NOW_END" > "$WORK/sse-batch.json" <<'PYEOF'
+import json, sys, datetime
+last = datetime.datetime.fromisoformat(sys.argv[1].replace("Z", "+00:00"))
+at = last + datetime.timedelta(hours=1)
+iso = lambda t: t.strftime("%Y-%m-%dT%H:%M:%SZ")
+print(json.dumps({"events": [
+  {"name": "eBGP flap", "start": iso(at), "end": iso(at + datetime.timedelta(minutes=1)),
+   "loc": {"type": "router:neighbor", "a": "pop00-per1", "b": "10.99.0.1"}},
+  {"name": "synthetic tick", "start": iso(at + datetime.timedelta(hours=48)),
+   "end": iso(at + datetime.timedelta(hours=48)), "loc": {"type": "router", "a": "pop00-per1"}},
+]}))
+PYEOF
+curl -fsS -X POST "$BASE/v1/ingest" --data-binary @"$WORK/sse-batch.json" > /dev/null
+# --max-time bounds the open-ended stream; curl's timeout complaint
+# after the frame arrived is expected noise.
+SSE_LINE=$(curl -fsS -N --max-time 10 "$BASE/v1/stream?replay=5" 2>/dev/null | grep -m1 '^data: ' || true)
+if [ -z "$SSE_LINE" ]; then
+  echo "serve_smoke: FAIL — no SSE diagnosis event on /v1/stream" >&2
+  exit 1
+fi
+echo "${SSE_LINE#data: }" | python3 -c 'import json,sys; r=json.load(sys.stdin); assert r["seq"] >= 1 and r["app"], r' \
+  || { echo "serve_smoke: FAIL — malformed SSE diagnosis frame" >&2; exit 1; }
+echo "   SSE diagnosis received: $(echo "${SSE_LINE#data: }" | python3 -c 'import json,sys; r=json.load(sys.stdin); print("seq", r["seq"], r["app"], r["label"])')"
+
+curl -fsS "$BASE/v1/breakdown?app=bgpflap" > "$WORK/breakdown-before.json"
 EVENTS_BEFORE=$(curl -fsS "$BASE/v1/events" | python3 -c 'import json,sys; print(json.load(sys.stdin)["events"])')
 curl -fsS -X POST "$BASE/v1/diagnose" -d '{"app":"bgpflap","all":true}' > "$WORK/diag-before.json"
 echo "   $EVENTS_BEFORE events stored; $(python3 -c 'import json;print(len(json.load(open("'"$WORK"'/diag-before.json"))["diagnoses"]))') bgpflap diagnoses"
@@ -83,9 +141,36 @@ if ! cmp -s "$WORK/diag-before.json" "$WORK/diag-after.json"; then
   echo "serve_smoke: FAIL — diagnosis output changed across restart" >&2
   exit 1
 fi
+curl -fsS "$BASE/v1/breakdown?app=bgpflap" > "$WORK/breakdown-after.json"
+if ! cmp -s "$WORK/breakdown-before.json" "$WORK/breakdown-after.json"; then
+  echo "serve_smoke: FAIL — /v1/breakdown changed across restart (rollup rebuild not deterministic)" >&2
+  diff "$WORK/breakdown-before.json" "$WORK/breakdown-after.json" >&2 || true
+  exit 1
+fi
+
+# Merge the two probe runs into the report and gate the growth ratio.
+python3 - "$OUT" "$WORK/load-small.json" "$MAX_P99_RATIO" <<'PYEOF'
+import json, sys
+out, small_path, max_ratio = sys.argv[1], sys.argv[2], float(sys.argv[3])
+rep = json.load(open(out))
+small = json.load(open(small_path))
+rep["breakdown_p99_ms_small_store"] = small["probe_p99_ms"]
+rep["breakdown_p99_ms_large_store"] = rep.pop("probe_p99_ms")
+rep["breakdown_p50_ms_large_store"] = rep.pop("probe_p50_ms")
+ratio = rep["breakdown_p99_ms_large_store"] / max(rep["breakdown_p99_ms_small_store"], 1e-9)
+rep["breakdown_p99_growth_ratio"] = round(ratio, 3)
+json.dump(rep, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+print(f"   breakdown p99: {rep['breakdown_p99_ms_small_store']:.2f}ms small -> "
+      f"{rep['breakdown_p99_ms_large_store']:.2f}ms large (ratio {ratio:.2f})")
+if ratio > max_ratio:
+    print(f"serve_smoke: FAIL — breakdown p99 grew {ratio:.2f}x (> {max_ratio}x) with a ~10x larger store",
+          file=sys.stderr)
+    sys.exit(1)
+PYEOF
 
 EPS=$(python3 -c 'import json; print(int(json.load(open("'"$OUT"'"))["events_per_sec"]))')
-echo "== restart preserved $EVENTS_AFTER events and identical diagnoses; ingest ran at $EPS events/s"
+echo "== restart preserved $EVENTS_AFTER events, identical diagnoses and breakdown; ingest ran at $EPS events/s"
 if [ "$EPS" -lt "$MIN_EPS" ]; then
   echo "serve_smoke: FAIL — $EPS events/s below floor $MIN_EPS" >&2
   exit 1
