@@ -88,6 +88,11 @@ func runVet(args []string) error {
 	}
 
 	if *asJSON {
+		if findings == nil {
+			// Match grcalint -json: an empty report is "[]", not "null",
+			// so downstream tooling can treat both artifacts uniformly.
+			findings = []grcavet.Finding{}
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(findings); err != nil {

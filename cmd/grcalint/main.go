@@ -1,18 +1,22 @@
 // Command grcalint runs the project's custom analyzers (internal/lint)
 // over the module: the clock discipline (nakedtime, utctime), stdout
-// hygiene (noprint), and deterministic-output (mapiter) checks that
-// ordinary go vet cannot express. It is a multichecker in the
-// golang.org/x/tools/go/analysis mold, built on the standard library
-// alone.
+// hygiene (noprint), deterministic-output (mapiter) checks, and the
+// concurrency-correctness suite (lockorder, deferunlock, atomicmix,
+// hookreentry, goroutinelife) that ordinary go vet cannot express. It is
+// a multichecker in the golang.org/x/tools/go/analysis mold, built on the
+// standard library alone.
 //
 // Usage:
 //
-//	grcalint [-list] [package ...]
+//	grcalint [-list] [-json] [-allow file] [package ...]
 //
 // With no arguments every package in the module is checked. Package
 // arguments are import paths ("grca/internal/engine") or "./..." for the
-// whole module. Exit status is 1 when any diagnostic is reported, 2 on
-// load failure.
+// whole module. -json emits the findings as the same JSON envelope `grca
+// vet -json` uses, so downstream tooling can merge the two streams.
+// -allow overrides the embedded lock-order allowlist
+// (internal/lint/lockorder.allow). Exit status is 1 when any diagnostic
+// is reported, 2 on load failure.
 package main
 
 import (
@@ -26,11 +30,13 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	dir := flag.String("C", ".", "module root directory")
+	asJSON := flag.Bool("json", false, "emit diagnostics as a JSON array (grca vet envelope)")
+	allowPath := flag.String("allow", "", "lock-order allowlist file (default: embedded lockorder.allow)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -46,20 +52,37 @@ func main() {
 		}
 	}
 
-	analyzers := lint.Analyzers()
-	found := 0
+	passes := make([]*lint.Pass, 0, len(paths))
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fail(err)
 		}
-		for _, d := range lint.RunAll(pkg.Pass(loader.Fset), analyzers) {
-			found++
+		passes = append(passes, pkg.Pass(loader.Fset))
+	}
+	prog := lint.NewProgram(passes)
+	if *allowPath != "" {
+		src, err := os.ReadFile(*allowPath)
+		if err != nil {
+			fail(err)
+		}
+		if prog.Allow, err = lint.ParseAllowlist(string(src)); err != nil {
+			fail(fmt.Errorf("%s: %v", *allowPath, err))
+		}
+	}
+
+	diags := lint.RunSuite(prog, lint.Analyzers())
+	if *asJSON {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, d := range diags {
 			fmt.Println(d)
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "grcalint: %d diagnostics\n", found)
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "grcalint: %d diagnostics\n", len(diags))
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix flags variables (typically struct fields) that one part of a
+// package accesses through sync/atomic and another part reads or writes
+// plainly. Mixing the two gives neither atomicity nor visibility: the
+// plain access races with the atomic one, and the race detector only
+// catches it when both sides actually interleave under test. The fix in
+// this codebase is the typed atomics (atomic.Int64 & friends, as obs
+// uses), which make plain access a compile error.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags variables accessed both via sync/atomic and via plain reads/writes in the same package",
+	Run: func(pass *Pass) []Diagnostic {
+		type access struct {
+			atomicPos []ast.Node
+			plainPos  []ast.Node
+		}
+		accesses := map[*types.Var]*access{}
+		names := map[*types.Var]string{}
+		get := func(v *types.Var) *access {
+			a, ok := accesses[v]
+			if !ok {
+				a = &access{}
+				accesses[v] = a
+			}
+			return a
+		}
+		// First pass: operands of &v arguments to sync/atomic calls.
+		atomicArgs := map[ast.Expr]bool{}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !selectsPackage(pass.Info, sel, "sync/atomic") {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok || un.Op.String() != "&" {
+						continue
+					}
+					if v, name := addressedVar(pass.Info, un.X); v != nil {
+						atomicArgs[un.X] = true
+						get(v).atomicPos = append(get(v).atomicPos, un)
+						names[v] = name
+					}
+				}
+				return true
+			})
+		}
+		if len(accesses) == 0 {
+			return nil
+		}
+		// Second pass: every other mention of those variables is a plain
+		// access.
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				expr, ok := n.(ast.Expr)
+				if !ok || atomicArgs[expr] {
+					return true
+				}
+				v, _ := addressedVar(pass.Info, expr)
+				if v == nil {
+					return true
+				}
+				if a, tracked := accesses[v]; tracked {
+					// Skip the inner Ident/Selector of an already-counted
+					// expression: only count the outermost mention.
+					if !withinAtomicArg(atomicArgs, expr) {
+						a.plainPos = append(a.plainPos, expr)
+					}
+					return false
+				}
+				return true
+			})
+		}
+		var vars []*types.Var
+		for v, a := range accesses {
+			if len(a.plainPos) > 0 {
+				vars = append(vars, v)
+			}
+		}
+		sort.Slice(vars, func(i, j int) bool { return names[vars[i]] < names[vars[j]] })
+		var out []Diagnostic
+		for _, v := range vars {
+			a := accesses[v]
+			first := a.plainPos[0]
+			for _, p := range a.plainPos[1:] {
+				if p.Pos() < first.Pos() {
+					first = p
+				}
+			}
+			out = append(out, pass.diag("atomicmix", first.Pos(),
+				"%s is accessed with sync/atomic (e.g. line %d) but read/written plainly here; use a typed atomic (atomic.Int64 etc.) for every access",
+				names[v], pass.Fset.Position(a.atomicPos[0].Pos()).Line))
+		}
+		return out
+	},
+}
+
+// addressedVar resolves an identifier or field selector to its variable.
+func addressedVar(info *types.Info, x ast.Expr) (*types.Var, string) {
+	switch x := x.(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[x].(*types.Var); ok {
+			return v, v.Name()
+		}
+	case *ast.SelectorExpr:
+		return lockVar(info, x) // same resolution + naming as for mutexes
+	}
+	return nil, ""
+}
+
+// withinAtomicArg reports whether expr is a sub-expression of a counted
+// &arg operand (the selector inside &s.field, say).
+func withinAtomicArg(atomicArgs map[ast.Expr]bool, expr ast.Expr) bool {
+	for arg := range atomicArgs {
+		if arg.Pos() <= expr.Pos() && expr.End() <= arg.End() {
+			return true
+		}
+	}
+	return false
+}

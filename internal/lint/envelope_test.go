@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"reflect"
+	"testing"
+
+	"grca/internal/grcavet"
+)
+
+// TestEnvelopeSchemaMatchesVet asserts `grcalint -json` and `grca vet
+// -json` emit the same envelope shape, field for field (name, JSON tag,
+// and Go type), so downstream tooling can merge the two streams.
+func TestEnvelopeSchemaMatchesVet(t *testing.T) {
+	tags := func(st reflect.Type) []string {
+		var out []string
+		for i := 0; i < st.NumField(); i++ {
+			tag := st.Field(i).Tag.Get("json")
+			if tag == "" || tag == "-" {
+				continue // unexported to JSON (e.g. the Severity enum)
+			}
+			out = append(out, tag+" "+st.Field(i).Type.String())
+		}
+		return out
+	}
+	got := tags(reflect.TypeOf(Envelope{}))
+	want := tags(reflect.TypeOf(grcavet.Finding{}))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("lint.Envelope JSON schema diverged from grcavet.Finding:\n lint: %v\n  vet: %v", got, want)
+	}
+}
+
+// TestEnvelopeRoundTrip checks a lint diagnostic serialized through the
+// envelope parses back as a grcavet.Finding — byte-level mergeability.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "internal/store/store.go", Line: 7, Column: 2},
+		Analyzer: "lockorder",
+		Message:  "example finding",
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []Diagnostic{d}); err != nil {
+		t.Fatal(err)
+	}
+	var fs []grcavet.Finding
+	if err := json.Unmarshal(buf.Bytes(), &fs); err != nil {
+		t.Fatalf("grca vet's Finding cannot parse grcalint -json output: %v", err)
+	}
+	if len(fs) != 1 || fs[0].Check != "lockorder" || fs[0].File != "internal/store/store.go" ||
+		fs[0].Line != 7 || fs[0].Level != "error" || fs[0].Message != "example finding" {
+		t.Errorf("round-trip mangled the finding: %+v", fs)
+	}
+	var empty bytes.Buffer
+	if err := WriteJSON(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(bytes.TrimSpace(empty.Bytes())); got != "[]" {
+		t.Errorf("empty finding set serializes as %q, want []", got)
+	}
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+)
+
+// HookReentry guards the store's hook contract (DESIGN.md §12): callbacks
+// registered through an OnXxx method are invoked by the hook-bearing type
+// itself, sometimes while its own mutex is held. Two rules follow:
+//
+//  1. a callback whose invocation site holds the owner's mutex must not
+//     re-acquire that mutex, directly or transitively — sync mutexes are
+//     not reentrant, so OnAppend → store method → s.mu is a deadlock;
+//  2. a callback invoked outside the owner's mutex (the OnEvict pattern)
+//     must not write-acquire it: mutating the source store from its own
+//     eviction hook re-enters the hook machinery with unbounded recursion.
+//     Read access (e.g. snapshotting the store from an evict hook) is fine.
+//
+// Diagnostics point at the registration callsite — that is where the
+// decision to bind the callback was made.
+var HookReentry = &Analyzer{
+	Name: "hookreentry",
+	Doc:  "flags hook callbacks that re-enter their owner's mutex: deadlock when invoked under it, re-entrant mutation otherwise",
+	RunProgram: func(prog *Program) []Diagnostic {
+		fs := prog.Facts()
+		g := fs.lockGraph()
+
+		// For each hook field: is any invocation site under one of the
+		// owner struct's mutexes? Which mutexes can be involved at all?
+		type fieldCtx struct {
+			underLock map[*types.Var]bool // owner mutexes held at ≥1 invocation
+			owners    []*types.Var        // owner struct's mutex fields
+		}
+		ctxs := map[*types.Var]*fieldCtx{}
+		ctxFor := func(field *types.Var) *fieldCtx {
+			c, ok := ctxs[field]
+			if !ok {
+				c = &fieldCtx{underLock: map[*types.Var]bool{}, owners: mutexFieldsOf(field)}
+				ctxs[field] = c
+			}
+			return c
+		}
+		for _, inv := range g.invokes {
+			c := ctxFor(inv.field)
+			for _, m := range c.owners {
+				if inv.held[m] {
+					c.underLock[m] = true
+				}
+			}
+		}
+
+		var out []Diagnostic
+		seen := map[string]bool{}
+		report := func(b binding, format string, args ...any) {
+			d := Diagnostic{
+				Pos:      b.pass.Fset.Position(b.pos),
+				Analyzer: "hookreentry",
+				Message:  fmt.Sprintf(format, args...),
+			}
+			key := d.Pos.String() + d.Message
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, d)
+			}
+		}
+		for _, b := range fs.bindings {
+			c := ctxFor(b.field)
+			var acq map[*types.Var]acquire
+			var label string
+			if b.fn != nil {
+				acq, label = fs.transAcquires(b.fn), funcLabel(b.fn)
+			} else {
+				acq, label = fs.litAcquires(b.lit), "func literal"
+			}
+			fieldName := fs.fieldLabel(b.field)
+			for _, m := range c.owners {
+				a, takes := acq[m]
+				if !takes {
+					continue
+				}
+				mName := fs.lockNames[m]
+				if mName == "" {
+					mName = fs.fieldLabel(m)
+				}
+				via := ""
+				if a.via != "" {
+					via = " (via " + a.via + ")"
+				}
+				if c.underLock[m] {
+					report(b, "callback %s registered on %s runs under %s and re-acquires it%s: deadlock",
+						label, fieldName, mName, via)
+				} else if a.write {
+					report(b, "callback %s registered on %s write-acquires %s%s: hooks must not mutate the type that fires them",
+						label, fieldName, mName, via)
+				}
+			}
+		}
+		return out
+	},
+}
+
+// fieldLabel renders a hook field as pkg.Type.field.
+func (fs *facts) fieldLabel(field *types.Var) string {
+	if n, ok := fs.lockNames[field]; ok {
+		return n
+	}
+	st := owningStruct(field)
+	name := field.Name()
+	if field.Pkg() != nil {
+		prefix := field.Pkg().Name()
+		if st != nil {
+			if tn := structTypeName(field.Pkg(), st); tn != "" {
+				prefix += "." + tn
+			}
+		}
+		return prefix + "." + name
+	}
+	return name
+}
+
+// structTypeName finds the named type in pkg whose underlying struct is st.
+func structTypeName(pkg *types.Package, st *types.Struct) string {
+	for _, name := range pkg.Scope().Names() {
+		if tn, ok := pkg.Scope().Lookup(name).(*types.TypeName); ok {
+			if named, ok := tn.Type().(*types.Named); ok && named.Underlying() == st {
+				return tn.Name()
+			}
+		}
+	}
+	return ""
+}

@@ -19,6 +19,11 @@
 //     report writers' backs; fmt.Print* belongs to package main.
 //   - mapiter: report/emit paths that iterate a map while writing output
 //     produce nondeterministically ordered reports — sort the keys first.
+//
+// On top of the style checks sits the concurrency-correctness suite
+// (DESIGN.md §13): lockorder, deferunlock, atomicmix, hookreentry, and
+// goroutinelife, built on whole-program facts (facts.go, lockgraph.go)
+// and gated by the shared //lint:ignore suppression core (suppress.go).
 package lint
 
 import (
@@ -60,25 +65,41 @@ func (p *Pass) diag(analyzer string, pos token.Pos, format string, args ...any) 
 	}
 }
 
-// An Analyzer is one named check over a type-checked package.
+// An Analyzer is one named check. Per-package analyzers set Run; whole-
+// program analyzers (those that need the cross-package lock and call-graph
+// facts) set RunProgram instead. Exactly one of the two is non-nil.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) []Diagnostic
+	Name       string
+	Doc        string
+	Run        func(*Pass) []Diagnostic
+	RunProgram func(*Program) []Diagnostic
 }
 
-// Analyzers returns the project's checks in stable order.
+// Analyzers returns the project's checks in stable order: the original
+// style checks first, then the concurrency-correctness suite.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NakedTime, UTCTime, NoPrint, MapIter}
+	return []*Analyzer{
+		NakedTime, UTCTime, NoPrint, MapIter,
+		LockOrder, DeferUnlock, AtomicMix, HookReentry, GoroutineLife,
+	}
 }
 
-// RunAll applies every analyzer to the pass and returns the merged
-// diagnostics sorted by position.
+// RunAll applies every per-package analyzer to the pass and returns the
+// merged diagnostics sorted by position. Program-level analyzers are
+// skipped; use RunSuite for the full set.
 func RunAll(pass *Pass, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		out = append(out, a.Run(pass)...)
 	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -87,9 +108,11 @@ func RunAll(pass *Pass, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Line != b.Pos.Line {
 			return a.Pos.Line < b.Pos.Line
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return out
 }
 
 // stdPkgFunc reports whether the call expression invokes pkgPath.name —

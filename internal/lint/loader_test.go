@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestWalkCoversInternalPackages is the regression gate for the loader
+// satellite: every directory under internal/ that holds non-test Go
+// files must appear in Walk's output and load successfully. A loader
+// that silently skips a package (as a stale importer could after the
+// PR 4–6 package additions) makes grcalint report "clean" vacuously.
+func TestWalkCoversInternalPackages(t *testing.T) {
+	l, err := NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.Walk()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		seen[p] = true
+	}
+
+	root := filepath.Join("..", "..")
+	var wantPkgs []string
+	err = filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor" {
+			return filepath.SkipDir
+		}
+		files, err := sourceFiles(path)
+		if err != nil || len(files) == 0 {
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		wantPkgs = append(wantPkgs, "grca/"+filepath.ToSlash(rel))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantPkgs) < 15 {
+		t.Fatalf("filesystem scan found only %d internal packages: %v", len(wantPkgs), wantPkgs)
+	}
+	for _, p := range wantPkgs {
+		if !seen[p] {
+			t.Errorf("Walk silently skipped %s", p)
+			continue
+		}
+		if _, err := l.Load(p); err != nil {
+			t.Errorf("Load(%s): %v", p, err)
+		}
+	}
+
+	// The packages PRs 4–6 added must be in the covered set by name —
+	// guards against the filesystem scan and Walk sharing a blind spot.
+	for _, p := range []string{
+		"grca/internal/rollup", "grca/internal/wal", "grca/internal/server",
+		"grca/internal/realtime", "grca/internal/store", "grca/internal/obs",
+		"grca/internal/engine", "grca/internal/ospf", "grca/internal/bgp",
+		"grca/internal/lint", "grca/internal/grcavet", "grca/internal/chaos",
+	} {
+		if !seen[p] {
+			t.Errorf("Walk missed %s", p)
+		}
+	}
+}

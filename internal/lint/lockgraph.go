@@ -1,0 +1,346 @@
+package lint
+
+// The lock graph: a linear-scan simulation of every function body tracks
+// which mutexes are held at each acquisition, call, and hook-invocation
+// site. Interprocedural context comes in two forms that deliberately do
+// not overlap:
+//
+//   - edges held-at-callsite × transAcquires(callee) cover locks taken
+//     deeper in the call tree (and through hook callbacks, which
+//     transAcquires folds in), so edge emission only ever consults the
+//     locally-held set;
+//   - an entered-while-holding fixed point propagates held sets into
+//     callees and hook callbacks, and is consulted only for re-acquisition
+//     (self-deadlock) detection and for the held-at-invocation snapshots
+//     the hookreentry analyzer needs.
+//
+// The scan is a source-order heuristic, not a CFG: Lock adds the mutex to
+// the held set, Unlock removes it, defer Unlock pins it for the rest of
+// the body. That matches how this codebase writes critical sections; the
+// //lint:ignore escape hatch covers the exceptions.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A lockEdge records that `from` was held while `to` was acquired.
+type lockEdge struct {
+	from, to *types.Var
+	fromName string
+	toName   string
+	pos      token.Position // acquisition or callsite position
+	fn       string         // enclosing function label
+	via      string         // call path witness, "" for a direct acquisition
+}
+
+// A selfAcquire records a mutex acquired while already held.
+type selfAcquire struct {
+	name string
+	pos  token.Position
+	fn   string
+	via  string
+}
+
+// An invokeFact is a hook-field invocation with its held-lock snapshot.
+type invokeFact struct {
+	field *types.Var
+	held  map[*types.Var]bool
+	pos   token.Position
+	fn    string
+}
+
+type lockGraph struct {
+	edges   []lockEdge
+	selfs   []selfAcquire
+	invokes []invokeFact
+}
+
+// heldSet is an insertion-ordered set of held mutexes.
+type heldSet struct {
+	order []*types.Var
+	names map[*types.Var]string
+}
+
+func newHeldSet() *heldSet { return &heldSet{names: map[*types.Var]string{}} }
+
+func (h *heldSet) add(v *types.Var, name string) {
+	if _, ok := h.names[v]; ok {
+		return
+	}
+	h.names[v] = name
+	h.order = append(h.order, v)
+}
+
+func (h *heldSet) remove(v *types.Var) {
+	if _, ok := h.names[v]; !ok {
+		return
+	}
+	delete(h.names, v)
+	for i, x := range h.order {
+		if x == v {
+			h.order = append(h.order[:i:i], h.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (h *heldSet) has(v *types.Var) bool { _, ok := h.names[v]; return ok }
+
+// lockGraph runs the entered-while-holding fixed point and then the
+// collection pass, memoized on the facts.
+func (fs *facts) lockGraph() *lockGraph {
+	if fs.graph != nil {
+		return fs.graph
+	}
+	entry := map[*types.Func]map[*types.Var]bool{}
+	litEntry := map[*ast.FuncLit]map[*types.Var]bool{}
+
+	// Fixed point: propagate held-at-callsite into callees (and bound
+	// callbacks at hook invocations) until no entry set grows.
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range fs.ordered {
+			fs.simulate(ff, entry[ff.fn], simHooks{
+				onCall: func(cs callSite, held *heldSet) {
+					if growEntry(entry, cs.callee, held, entryOf(entry, ff.fn)) {
+						changed = true
+					}
+				},
+				onInvoke: func(hi hookInvoke, held *heldSet) {
+					for _, b := range fs.bindings {
+						if b.field != hi.field {
+							continue
+						}
+						if b.fn != nil {
+							if growEntry(entry, b.fn, held, entryOf(entry, ff.fn)) {
+								changed = true
+							}
+						} else if growLitEntry(litEntry, b.lit, held, entryOf(entry, ff.fn)) {
+							changed = true
+						}
+					}
+				},
+			})
+		}
+	}
+
+	g := &lockGraph{}
+	seenEdge := map[[2]*types.Var]bool{}
+	addEdge := func(e lockEdge) {
+		key := [2]*types.Var{e.from, e.to}
+		if seenEdge[key] {
+			return
+		}
+		seenEdge[key] = true
+		g.edges = append(g.edges, e)
+	}
+	collect := func(ff *funcFacts, label string, ent map[*types.Var]bool) {
+		fs.simulate(ff, ent, simHooks{
+			onAcquire: func(op lockOp, held *heldSet, entered map[*types.Var]bool) {
+				if held.has(op.v) || entered[op.v] {
+					g.selfs = append(g.selfs, selfAcquire{
+						name: op.name, pos: ff.pass.Fset.Position(op.pos), fn: label,
+					})
+					return
+				}
+				for _, from := range held.order {
+					addEdge(lockEdge{
+						from: from, to: op.v,
+						fromName: held.names[from], toName: op.name,
+						pos: ff.pass.Fset.Position(op.pos), fn: label,
+					})
+				}
+			},
+			onCall: func(cs callSite, held *heldSet) {
+				if len(held.order) == 0 {
+					return
+				}
+				for v, a := range fs.transAcquires(cs.callee) {
+					for _, from := range held.order {
+						if from == v {
+							g.selfs = append(g.selfs, selfAcquire{
+								name: held.names[from],
+								pos:  ff.pass.Fset.Position(cs.pos),
+								fn:   label, via: witness(cs.callee, a),
+							})
+							continue
+						}
+						addEdge(lockEdge{
+							from: from, to: v,
+							fromName: held.names[from], toName: fs.lockNames[v],
+							pos: ff.pass.Fset.Position(cs.pos), fn: label,
+							via: witness(cs.callee, a),
+						})
+					}
+				}
+			},
+			onInvoke: func(hi hookInvoke, held *heldSet) {
+				snap := map[*types.Var]bool{}
+				for _, v := range held.order {
+					snap[v] = true
+				}
+				for v := range entryOf(entry, ff.fn) {
+					snap[v] = true
+				}
+				g.invokes = append(g.invokes, invokeFact{
+					field: hi.field, held: snap,
+					pos: ff.pass.Fset.Position(hi.pos), fn: label,
+				})
+				for _, b := range fs.bindings {
+					if b.field != hi.field {
+						continue
+					}
+					var sub map[*types.Var]acquire
+					var blabel string
+					if b.fn != nil {
+						sub, blabel = fs.transAcquires(b.fn), funcLabel(b.fn)
+					} else {
+						sub, blabel = fs.litAcquires(b.lit), "registered func literal"
+					}
+					for v, a := range sub {
+						for _, from := range held.order {
+							if from == v {
+								continue // hookreentry reports these
+							}
+							via := "hook " + blabel
+							if a.via != "" {
+								via += " → " + a.via
+							}
+							addEdge(lockEdge{
+								from: from, to: v,
+								fromName: held.names[from], toName: fs.lockNames[v],
+								pos: ff.pass.Fset.Position(hi.pos), fn: label, via: via,
+							})
+						}
+					}
+				}
+			},
+		})
+	}
+	for _, ff := range fs.ordered {
+		collect(ff, funcLabel(ff.fn), entryOf(entry, ff.fn))
+	}
+	for _, b := range fs.bindings {
+		if b.lit != nil {
+			collect(fs.litFacts[b.lit], "registered func literal", litEntry[b.lit])
+		}
+	}
+	fs.graph = g
+	return g
+}
+
+func witness(callee *types.Func, a acquire) string {
+	if a.via == "" {
+		return funcLabel(callee)
+	}
+	return funcLabel(callee) + " → " + a.via
+}
+
+func entryOf(entry map[*types.Func]map[*types.Var]bool, fn *types.Func) map[*types.Var]bool {
+	if fn == nil {
+		return nil
+	}
+	return entry[fn]
+}
+
+func growEntry(entry map[*types.Func]map[*types.Var]bool, fn *types.Func, held *heldSet, callerEntry map[*types.Var]bool) bool {
+	grew := false
+	set := entry[fn]
+	add := func(v *types.Var) {
+		if set == nil {
+			set = map[*types.Var]bool{}
+			entry[fn] = set
+		}
+		if !set[v] {
+			set[v] = true
+			grew = true
+		}
+	}
+	for _, v := range held.order {
+		add(v)
+	}
+	for v := range callerEntry {
+		add(v)
+	}
+	return grew
+}
+
+func growLitEntry(entry map[*ast.FuncLit]map[*types.Var]bool, lit *ast.FuncLit, held *heldSet, callerEntry map[*types.Var]bool) bool {
+	grew := false
+	set := entry[lit]
+	add := func(v *types.Var) {
+		if set == nil {
+			set = map[*types.Var]bool{}
+			entry[lit] = set
+		}
+		if !set[v] {
+			set[v] = true
+			grew = true
+		}
+	}
+	for _, v := range held.order {
+		add(v)
+	}
+	for v := range callerEntry {
+		add(v)
+	}
+	return grew
+}
+
+type simHooks struct {
+	onAcquire func(lockOp, *heldSet, map[*types.Var]bool)
+	onCall    func(callSite, *heldSet)
+	onInvoke  func(hookInvoke, *heldSet)
+}
+
+// simulate replays a function's events (lock ops, calls, hook
+// invocations) in source order, maintaining the held set.
+func (fs *facts) simulate(ff *funcFacts, entered map[*types.Var]bool, h simHooks) {
+	if ff == nil {
+		return
+	}
+	type event struct {
+		pos    token.Pos
+		op     *lockOp
+		call   *callSite
+		invoke *hookInvoke
+	}
+	events := make([]event, 0, len(ff.ops)+len(ff.calls)+len(ff.hooks))
+	for i := range ff.ops {
+		events = append(events, event{pos: ff.ops[i].pos, op: &ff.ops[i]})
+	}
+	for i := range ff.calls {
+		events = append(events, event{pos: ff.calls[i].pos, call: &ff.calls[i]})
+	}
+	for i := range ff.hooks {
+		events = append(events, event{pos: ff.hooks[i].pos, invoke: &ff.hooks[i]})
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := newHeldSet()
+	for _, ev := range events {
+		switch {
+		case ev.op != nil:
+			op := ev.op
+			if op.kind.acquires() {
+				if h.onAcquire != nil {
+					h.onAcquire(*op, held, entered)
+				}
+				held.add(op.v, op.name)
+			} else if !op.deferred {
+				held.remove(op.v)
+			}
+		case ev.call != nil:
+			if h.onCall != nil {
+				h.onCall(*ev.call, held)
+			}
+		case ev.invoke != nil:
+			if h.onInvoke != nil {
+				h.onInvoke(*ev.invoke, held)
+			}
+		}
+	}
+}

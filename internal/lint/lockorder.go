@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"bufio"
+	_ "embed"
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Allowlist is the sanctioned lock-nesting order: an edge "A -> B" means
+// code may acquire B while holding A. Any observed nesting outside the
+// list, and any cycle among observed nestings, is a lockorder diagnostic.
+// The canonical list lives in internal/lint/lockorder.allow and is
+// documented as the lock-order graph in DESIGN.md §13 — the two are kept
+// in sync by a test.
+type Allowlist struct {
+	edges map[[2]string]bool
+}
+
+//go:embed lockorder.allow
+var defaultAllow string
+
+// DefaultAllowlist parses the embedded lockorder.allow.
+func DefaultAllowlist() *Allowlist {
+	a, err := ParseAllowlist(defaultAllow)
+	if err != nil {
+		// The embedded file is validated by tests; a parse failure here is
+		// a build defect, not a runtime condition.
+		panic("lint: embedded lockorder.allow: " + err.Error())
+	}
+	return a
+}
+
+// EmptyAllowlist sanctions nothing; test programs use it.
+func EmptyAllowlist() *Allowlist { return &Allowlist{edges: map[[2]string]bool{}} }
+
+// ParseAllowlist reads "from -> to" lines; '#' starts a comment.
+func ParseAllowlist(src string) (*Allowlist, error) {
+	a := &Allowlist{edges: map[[2]string]bool{}}
+	sc := bufio.NewScanner(strings.NewReader(src))
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		from, to, ok := strings.Cut(line, "->")
+		if !ok {
+			return nil, fmt.Errorf("line %d: want \"from -> to\", got %q", n, line)
+		}
+		a.edges[[2]string{strings.TrimSpace(from), strings.TrimSpace(to)}] = true
+	}
+	return a, sc.Err()
+}
+
+// Edges lists the sanctioned pairs, sorted, for the docs-sync test.
+func (a *Allowlist) Edges() [][2]string {
+	out := make([][2]string, 0, len(a.edges))
+	for e := range a.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func (a *Allowlist) allows(from, to string) bool {
+	return a.edges[[2]string{from, to}]
+}
+
+// LockOrder builds the whole-program mutex acquisition graph and flags
+// (a) a mutex acquired while already held — sync mutexes are not
+// reentrant, so that is a guaranteed or writer-pending deadlock; (b) any
+// nesting edge absent from the sanctioned allowlist; and (c) cycles among
+// the observed edges, the classic AB/BA deadlock.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "flags mutex self-acquisition, lock nestings outside lockorder.allow, and acquisition-order cycles",
+	RunProgram: func(prog *Program) []Diagnostic {
+		g := prog.Facts().lockGraph()
+		allow := prog.Allow
+		if allow == nil {
+			allow = EmptyAllowlist()
+		}
+		var out []Diagnostic
+		for _, s := range g.selfs {
+			msg := fmt.Sprintf("%s acquired in %s while already held; sync mutexes are not reentrant", s.name, s.fn)
+			if s.via != "" {
+				msg += " (via " + s.via + ")"
+			}
+			out = append(out, Diagnostic{Pos: s.pos, Analyzer: "lockorder", Message: msg})
+		}
+		for _, e := range g.edges {
+			if allow.allows(e.fromName, e.toName) {
+				continue
+			}
+			msg := fmt.Sprintf("%s acquired while holding %s in %s", e.toName, e.fromName, e.fn)
+			if e.via != "" {
+				msg += " (via " + e.via + ")"
+			}
+			msg += "; undocumented lock nesting — add to lockorder.allow and DESIGN.md §13 if sanctioned"
+			out = append(out, Diagnostic{Pos: e.pos, Analyzer: "lockorder", Message: msg})
+		}
+		out = append(out, lockCycles(g.edges)...)
+		return out
+	},
+}
+
+// lockCycles reports each cycle in the observed nesting graph once, at
+// the lexically first edge on the cycle.
+func lockCycles(edges []lockEdge) []Diagnostic {
+	adj := map[*types.Var][]lockEdge{}
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[*types.Var]int{}
+	var out []Diagnostic
+	var stack []lockEdge
+	var visit func(v *types.Var)
+	visit = func(v *types.Var) {
+		color[v] = gray
+		for _, e := range adj[v] {
+			switch color[e.to] {
+			case white:
+				stack = append(stack, e)
+				visit(e.to)
+				stack = stack[:len(stack)-1]
+			case gray:
+				cycle := append(append([]lockEdge{}, stackSince(stack, e.to)...), e)
+				out = append(out, cycleDiag(cycle))
+			}
+		}
+		color[v] = black
+	}
+	// Deterministic start order: edges are already in discovery order.
+	for _, e := range edges {
+		if color[e.from] == white {
+			visit(e.from)
+		}
+	}
+	return out
+}
+
+// stackSince returns the suffix of the DFS stack starting at the edge
+// leaving v (the cycle entry point).
+func stackSince(stack []lockEdge, v *types.Var) []lockEdge {
+	for i, e := range stack {
+		if e.from == v {
+			return stack[i:]
+		}
+	}
+	return stack
+}
+
+func cycleDiag(cycle []lockEdge) Diagnostic {
+	names := make([]string, 0, len(cycle)+1)
+	for _, e := range cycle {
+		names = append(names, e.fromName)
+	}
+	names = append(names, cycle[len(cycle)-1].toName)
+	first := cycle[0]
+	return Diagnostic{
+		Pos:      first.pos,
+		Analyzer: "lockorder",
+		Message: fmt.Sprintf("lock-order cycle %s: inconsistent nesting can deadlock",
+			strings.Join(names, " → ")),
+	}
+}

@@ -1,0 +1,37 @@
+// Package atomicmix holds deliberately broken atomics exemplars for the
+// atomicmix analyzer's golden test.
+package atomicmix
+
+import "sync/atomic"
+
+type Counter struct {
+	hits  int64
+	calls int64
+}
+
+func (c *Counter) Hit() { atomic.AddInt64(&c.hits, 1) }
+
+// Snapshot reads hits plainly: races with Hit.
+func (c *Counter) Snapshot() int64 { return c.hits }
+
+func (c *Counter) Call() { atomic.AddInt64(&c.calls, 1) }
+
+// Reset writes calls plainly: races with Call.
+func (c *Counter) Reset() { c.calls = 0 }
+
+var gen uint64
+
+func Bump() { atomic.AddUint64(&gen, 1) }
+
+// Seed writes gen plainly; the directive acknowledges the init-time use.
+func Seed(v uint64) {
+	//lint:ignore atomicmix exemplar: init-time write precedes concurrency
+	gen = v
+}
+
+// typed is the sanctioned shape: a typed atomic cannot be mixed.
+type typed struct {
+	n atomic.Int64
+}
+
+func (t *typed) Inc() int64 { return t.n.Add(1) }

@@ -1,0 +1,71 @@
+// Package deferunlock holds deliberately broken critical-section
+// exemplars for the deferunlock analyzer's golden test.
+package deferunlock
+
+import "sync"
+
+type Reg struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+// Lookup leaks mu on the early return.
+func (r *Reg) Lookup(k string) int {
+	r.mu.Lock()
+	v, ok := r.items[k]
+	if !ok {
+		return -1
+	}
+	r.mu.Unlock()
+	return v
+}
+
+// Touch leaks mu at the end of the body.
+func (r *Reg) Touch(k string) {
+	r.mu.Lock()
+	r.items[k]++
+}
+
+// Resort is the PR 3 store race: read-to-write upgrade that resumes on
+// the read lock, trusting state observed before the upgrade.
+func (r *Reg) Resort() {
+	r.mu.RLock()
+	if len(r.items) == 0 {
+		r.mu.RUnlock()
+		return
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	r.items["sorted"] = 1
+	r.mu.Unlock()
+	r.mu.RLock()
+	_ = len(r.items)
+	r.mu.RUnlock()
+}
+
+// Peek leaks too, but the directive acknowledges it.
+func (r *Reg) Peek(k string) (int, bool) {
+	r.mu.RLock()
+	v, ok := r.items[k]
+	if !ok {
+		//lint:ignore deferunlock exemplar: deliberately leaked read lock
+		return 0, false
+	}
+	r.mu.RUnlock()
+	return v, ok
+}
+
+// Clean is the idiomatic check-unlock-relock upgrade that must NOT be
+// flagged: no read resumes after the write section.
+func (r *Reg) Clean(k string) int {
+	r.mu.RLock()
+	if v, ok := r.items[k]; ok {
+		r.mu.RUnlock()
+		return v
+	}
+	r.mu.RUnlock()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items[k] = 0
+	return 0
+}

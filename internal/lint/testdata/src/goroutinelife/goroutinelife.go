@@ -1,0 +1,60 @@
+// Package goroutinelife holds deliberately leaked goroutines for the
+// goroutinelife analyzer's golden test.
+package goroutinelife
+
+type Feed struct {
+	ch   chan int
+	stop chan struct{}
+}
+
+func (f *Feed) process(int) {}
+
+// StartLoop leaks: the goroutine spins forever with no stop signal.
+func (f *Feed) StartLoop() {
+	go func() {
+		for i := 0; ; i++ {
+			f.process(i)
+		}
+	}()
+}
+
+// StartSpin leaks through a named function.
+func (f *Feed) StartSpin() {
+	go f.spin()
+}
+
+func (f *Feed) spin() {
+	for {
+		f.process(0)
+	}
+}
+
+// StartDrain is tied: the range ends when ch is closed.
+func (f *Feed) StartDrain() {
+	go func() {
+		for v := range f.ch {
+			f.process(v)
+		}
+	}()
+}
+
+// StartTicker is tied: it selects on the stop channel.
+func (f *Feed) StartTicker() {
+	go func() {
+		for {
+			select {
+			case <-f.stop:
+				return
+			case v := <-f.ch:
+				f.process(v)
+			}
+		}
+	}()
+}
+
+// StartExternal cannot be proven locally; the directive documents the
+// caller-owned lifecycle.
+func (f *Feed) StartExternal(run func()) {
+	//lint:ignore goroutinelife exemplar: run's lifecycle is owned by the caller
+	go run()
+}

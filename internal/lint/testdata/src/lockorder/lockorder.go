@@ -1,0 +1,69 @@
+// Package lockorder holds deliberately broken lock-nesting exemplars for
+// the lockorder analyzer's golden test.
+package lockorder
+
+import "sync"
+
+type A struct {
+	mu sync.Mutex
+	b  *B
+}
+
+type B struct {
+	mu sync.Mutex
+	a  *A
+}
+
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+var c C
+
+var d D
+
+// Both nests B.mu under A.mu; with BBoth's inverse nesting this is the
+// classic AB/BA deadlock cycle. Both edges are also undocumented.
+func (a *A) Both() {
+	a.mu.Lock()
+	a.b.mu.Lock()
+	a.b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// BBoth nests A.mu under B.mu — the inverse of Both.
+func (b *B) BBoth() {
+	b.mu.Lock()
+	b.a.mu.Lock()
+	b.a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// Touch re-acquires A.mu through a helper: a guaranteed self-deadlock.
+func (a *A) Touch() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.locked()
+}
+
+func (a *A) locked() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// WithC nests C.mu under A.mu; the directive suppresses the finding.
+func (a *A) WithC() {
+	a.mu.Lock()
+	//lint:ignore lockorder exemplar: the A→C nesting is sanctioned here
+	c.mu.Lock()
+	c.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// WithD nests D.mu under A.mu; the golden test's allowlist sanctions it.
+func (a *A) WithD() {
+	a.mu.Lock()
+	d.mu.Lock()
+	d.mu.Unlock()
+	a.mu.Unlock()
+}

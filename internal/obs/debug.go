@@ -26,6 +26,7 @@ func ServeDebug(addr string) (boundAddr string, shutdown func(), err error) {
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	//lint:ignore goroutinelife lifecycle lives in net/http: the returned shutdown closes the server
 	go srv.Serve(ln) //nolint:errcheck // closed via shutdown or process exit
 	return ln.Addr().String(), func() { srv.Close() }, nil
 }

@@ -325,6 +325,7 @@ func (s *Server) Start(addr string) (string, error) {
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	//lint:ignore goroutinelife lifecycle lives in net/http: Shutdown/Close stops Serve via the listener
 	go s.httpSrv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
 	return ln.Addr().String(), nil
 }

@@ -247,13 +247,36 @@ func (s *Store) Query(name string, from, to time.Time) []*event.Instance {
 func (s *Store) QueryFunc(name string, from, to time.Time, keep func(*event.Instance) bool) []*event.Instance {
 	mQueries.Inc()
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	idx := s.byName[name]
 	if idx == nil || to.Before(from) {
+		s.mu.RUnlock()
 		return nil
 	}
 	mQueryWindow.ObserveDuration(to.Sub(from))
-	s.sortIfDirty(idx)
+	if idx.dirty {
+		// Upgrade: drop the read lock and redo the whole read under the
+		// write lock. Resuming on RLock after a write-locked re-sort would
+		// trust state observed before the upgrade — the PR 3 store race,
+		// now rejected by the deferunlock/lockorder analyzers.
+		s.mu.RUnlock()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if idx = s.byName[name]; idx == nil {
+			return nil // evicted between the locks
+		}
+		if idx.dirty {
+			mLazyResorts.Inc()
+			idx.ensureSorted()
+		}
+		return queryScan(idx, from, to, keep)
+	}
+	defer s.mu.RUnlock()
+	return queryScan(idx, from, to, keep)
+}
+
+// queryScan performs the window scan over a sorted index; the caller
+// holds s.mu in either mode.
+func queryScan(idx *nameIndex, from, to time.Time, keep func(*event.Instance) bool) []*event.Instance {
 	ins := idx.instances
 	// First candidate: an overlapping instance has Start >= from-maxDur.
 	lowBound := from.Add(-idx.maxDur)
@@ -285,31 +308,30 @@ func (s *Store) QueryAt(name string, from, to time.Time, loc locus.Location) []*
 	return s.QueryFunc(name, from, to, func(in *event.Instance) bool { return in.Loc == loc })
 }
 
-// sortIfDirty re-sorts an index that received out-of-order inserts. The
-// caller holds the read lock; the upgrade re-checks under the write lock.
-// It loops because a writer can slip in between the Unlock and the RLock
-// re-acquisition and dirty the index again — returning then would let the
-// caller binary-search an unsorted slice.
-func (s *Store) sortIfDirty(idx *nameIndex) {
-	for idx.dirty {
-		mLazyResorts.Inc()
-		s.mu.RUnlock()
-		s.mu.Lock()
-		idx.ensureSorted()
-		s.mu.Unlock()
-		s.mu.RLock()
-	}
-}
-
 // All returns every instance of the named event ordered by start time.
 func (s *Store) All(name string) []*event.Instance {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	idx := s.byName[name]
 	if idx == nil {
+		s.mu.RUnlock()
 		return nil
 	}
-	s.sortIfDirty(idx)
+	if idx.dirty {
+		// Same upgrade discipline as QueryFunc: redo the read under the
+		// write lock rather than resorting and resuming on RLock.
+		s.mu.RUnlock()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if idx = s.byName[name]; idx == nil {
+			return nil
+		}
+		if idx.dirty {
+			mLazyResorts.Inc()
+			idx.ensureSorted()
+		}
+		return append([]*event.Instance(nil), idx.instances...)
+	}
+	defer s.mu.RUnlock()
 	return append([]*event.Instance(nil), idx.instances...)
 }
 

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# lint.sh — the repository's full lint gate, identical locally and in CI.
+#
+# Usage: scripts/lint.sh [artifact.json]
+#
+# Runs, in order: gofmt (whole tree, including testdata exemplars),
+# go vet, the grcalint analyzer suite (style + concurrency-correctness
+# checks; findings also written as a JSON envelope artifact when a path
+# is given), and grca vet -strict over the built-in and example specs.
+# Exits non-zero on the first failing stage; a zero exit means zero
+# findings everywhere.
+set -u
+cd "$(dirname "$0")/.."
+
+artifact="${1:-}"
+fail=0
+
+echo "== gofmt =="
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$out" >&2
+  fail=1
+fi
+
+echo "== go vet =="
+go vet ./... || fail=1
+
+echo "== grcalint (analyzer suite) =="
+if [ -n "$artifact" ]; then
+  # Capture the JSON envelope for downstream tooling regardless of
+  # outcome; the human-readable pass decides the exit status.
+  go run ./cmd/grcalint -json >"$artifact" || true
+fi
+go run ./cmd/grcalint || fail=1
+
+echo "== grca vet -strict (builtins) =="
+go run ./cmd/grca vet -strict || fail=1
+
+echo "== grca vet -strict (example specs) =="
+go run ./cmd/grca vet -strict examples/specs/*.grca || fail=1
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAILED" >&2
+  exit 1
+fi
+echo "lint: clean"
