@@ -6,7 +6,8 @@
 // Usage:
 //
 //	grca-load -addr http://localhost:8080 -bundle /tmp/corpus \
-//	  [-events 200000] [-batch 500] [-c 4] [-o BENCH_SERVE.json]
+//	  [-events 200000] [-batch 500] [-c 4] [-wire json|binary] \
+//	  [-o BENCH_SERVE.json]
 package main
 
 import (
@@ -25,7 +26,9 @@ import (
 
 	"grca/internal/collector"
 	"grca/internal/event"
+	"grca/internal/locus"
 	"grca/internal/platform"
+	"grca/internal/wire"
 )
 
 var feedOrder = []string{
@@ -44,15 +47,24 @@ func main() {
 	out := flag.String("o", "", "write the throughput report to this JSON file (default stdout)")
 	probe := flag.String("probe", "", "after streaming, GET this path repeatedly and report latency percentiles")
 	probes := flag.Int("probes", 200, "probe request count with -probe")
+	wireMode := flag.String("wire", "json", "ingest encoding: json or binary (the compact wire batch format)")
 	flag.Parse()
 
-	if err := run(*addr, *bundleDir, *events, *batch, *workers, *out, *probe, *probes); err != nil {
+	if *wireMode != "json" && *wireMode != "binary" {
+		fmt.Fprintf(os.Stderr, "grca-load: -wire must be json or binary, got %q\n", *wireMode)
+		os.Exit(1)
+	}
+	if err := run(*addr, *bundleDir, *events, *batch, *workers, *out, *probe, *probes, *wireMode == "binary"); err != nil {
 		fmt.Fprintf(os.Stderr, "grca-load: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, bundleDir string, events, batchSize, workers int, out, probe string, probes int) error {
+func run(addr, bundleDir string, events, batchSize, workers int, out, probe string, probes int, binary bool) error {
+	contentType := "application/json"
+	if binary {
+		contentType = wire.ContentType
+	}
 	start := time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
 	if bundleDir != "" {
 		b, err := platform.Load(bundleDir)
@@ -66,16 +78,22 @@ func run(addr, bundleDir string, events, batchSize, workers int, out, probe stri
 			if !ok {
 				continue
 			}
-			body, err := json.Marshal(map[string]string{"source": src, "lines": feed})
-			if err != nil {
-				return err
+			var body []byte
+			if binary {
+				body = wire.AppendFeed(nil, src, feed)
+			} else {
+				var err error
+				body, err = json.Marshal(map[string]string{"source": src, "lines": feed})
+				if err != nil {
+					return err
+				}
 			}
-			if err := postOK(addr+"/v1/ingest", body); err != nil {
+			if err := postOK(addr+"/v1/ingest", contentType, body); err != nil {
 				return fmt.Errorf("ingest %s: %v", src, err)
 			}
 		}
 		// 409 means a recovered server is already serving — fine.
-		if err := postOK(addr+"/v1/finalize", []byte("{}")); err != nil && !isConflict(err) {
+		if err := postOK(addr+"/v1/finalize", "application/json", []byte("{}")); err != nil && !isConflict(err) {
 			return fmt.Errorf("finalize: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "grca-load: bundle loaded and finalized in %v\n",
@@ -95,7 +113,7 @@ func run(addr, bundleDir string, events, batchSize, workers int, out, probe stri
 			defer wg.Done()
 			for body := range batches {
 				for {
-					code, err := postCode(addr+"/v1/ingest", body)
+					code, err := postCode(addr+"/v1/ingest", contentType, body)
 					if err != nil {
 						fmt.Fprintf(os.Stderr, "grca-load: %v\n", err)
 						return
@@ -114,7 +132,7 @@ func run(addr, bundleDir string, events, batchSize, workers int, out, probe stri
 			}
 		}()
 	}
-	type wireEvent struct {
+	type jsonEvent struct {
 		Name  string    `json:"name"`
 		Start time.Time `json:"start"`
 		End   time.Time `json:"end"`
@@ -123,23 +141,47 @@ func run(addr, bundleDir string, events, batchSize, workers int, out, probe stri
 			A    string `json:"a"`
 		} `json:"loc"`
 	}
+	ifaceType, err := locus.ParseType("interface")
+	if err != nil {
+		return err
+	}
+	// Location names repeat mod 64: precompute them so the generator does
+	// not spend the shared CPU formatting strings per event.
+	names := make([]string, 64)
+	for i := range names {
+		names[i] = fmt.Sprintf("load-r%d", i)
+	}
 	produced := 0
 	for produced < events {
 		n := batchSize
 		if events-produced < n {
 			n = events - produced
 		}
-		evs := make([]wireEvent, n)
-		for i := range evs {
-			at := start.Add(time.Duration(produced+i) * time.Millisecond)
-			evs[i].Name = event.InterfaceUp
-			evs[i].Start, evs[i].End = at, at
-			evs[i].Loc.Type = "interface"
-			evs[i].Loc.A = fmt.Sprintf("load-r%d", (produced+i)%64)
-		}
-		body, err := json.Marshal(map[string]any{"events": evs})
-		if err != nil {
-			return err
+		var body []byte
+		if binary {
+			ins := make([]event.Instance, n)
+			for i := range ins {
+				at := start.Add(time.Duration(produced+i) * time.Millisecond)
+				ins[i] = event.Instance{
+					Name: event.InterfaceUp, Start: at, End: at,
+					Loc: locus.At(ifaceType, names[(produced+i)%64]),
+				}
+			}
+			body = wire.AppendEvents(nil, ins)
+		} else {
+			evs := make([]jsonEvent, n)
+			for i := range evs {
+				at := start.Add(time.Duration(produced+i) * time.Millisecond)
+				evs[i].Name = event.InterfaceUp
+				evs[i].Start, evs[i].End = at, at
+				evs[i].Loc.Type = "interface"
+				evs[i].Loc.A = names[(produced+i)%64]
+			}
+			var err error
+			body, err = json.Marshal(map[string]any{"events": evs})
+			if err != nil {
+				return err
+			}
 		}
 		batches <- body
 		produced += n
@@ -149,10 +191,15 @@ func run(addr, bundleDir string, events, batchSize, workers int, out, probe stri
 	wg.Wait()
 	elapsed := time.Since(began)
 
+	mode := "json"
+	if binary {
+		mode = "binary"
+	}
 	report := map[string]any{
 		"events":         atomic.LoadInt64(&sent),
 		"batch_size":     batchSize,
 		"workers":        workers,
+		"wire":           mode,
 		"seconds":        elapsed.Seconds(),
 		"events_per_sec": float64(atomic.LoadInt64(&sent)) / elapsed.Seconds(),
 		"retries_429":    atomic.LoadInt64(&rejected),
@@ -215,8 +262,8 @@ func probeLatency(url string, n int) (p50, p99 float64, err error) {
 	return pct(0.50), pct(0.99), nil
 }
 
-func postCode(url string, body []byte) (int, error) {
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+func postCode(url, contentType string, body []byte) (int, error) {
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
@@ -234,8 +281,8 @@ func isConflict(err error) bool {
 	return errors.As(err, &se) && se == http.StatusConflict
 }
 
-func postOK(url string, body []byte) error {
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+func postOK(url, contentType string, body []byte) error {
+	resp, err := http.Post(url, contentType, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}

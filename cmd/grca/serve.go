@@ -30,6 +30,8 @@ func runServe(args []string) error {
 	retention := fs.Duration("retention", 0, "evict events older than this behind the stream head (0 = keep everything)")
 	maxInflight := fs.Int("max-inflight", 64, "ingest queue depth; beyond it clients get 429")
 	timeout := fs.Duration("request-timeout", 60*time.Second, "per-request applier wait bound")
+	legacyParsers := fs.Bool("legacy-parsers", false, "use the reference string parsers instead of the zero-copy fast path (parity-tested escape hatch)")
+	replayWorkers := fs.Int("replay-workers", 0, "WAL recovery decode parallelism (0 = GOMAXPROCS)")
 	metricsAddr := fs.String("metrics-addr", "",
 		"serve expvar/pprof on a dedicated address (e.g. :6060); "+
 			"when unset, the same handlers are mounted on the main -addr under /debug/")
@@ -65,6 +67,8 @@ func runServe(args []string) error {
 		Retention:      *retention,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
+		LegacyParsers:  *legacyParsers,
+		ReplayWorkers:  *replayWorkers,
 		// No dedicated metrics listener: expose /debug/ on the main
 		// address so a single-port deployment still has expvar/pprof.
 		Debug: *metricsAddr == "",

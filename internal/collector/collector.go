@@ -15,8 +15,10 @@ package collector
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
+	"net/netip"
 	"sort"
 	"strconv"
 	"strings"
@@ -261,8 +263,21 @@ type Collector struct {
 	// The correlation-mining study of §IV-B requires these candidate
 	// series; bulk RCA runs can leave them off.
 	EmitGenericSignatures bool
+	// LegacyParsers disables the zero-copy fast path (fastpath.go) and
+	// runs every feed through the reference string parsers alone. The
+	// fast path behaves identically (FuzzParserParity is the gate); the
+	// toggle exists to isolate a suspected fast-path bug in production
+	// and as the reference side of the differential tests.
+	LegacyParsers bool
 
 	tzCache map[string]*time.Location
+	// scr is the pooled fast-path working memory, held only for the
+	// duration of one Ingest call.
+	scr *scratch
+	// addrCache / prefixCache memoize netip parses of repeated monitor-
+	// feed fields (loopbacks, interface addresses, route prefixes).
+	addrCache   map[string]netip.Addr
+	prefixCache map[string]netip.Prefix
 	// curSource names the feed being ingested, so events emitted by the
 	// parsers are attributed to it; Finalize's pairing passes attribute
 	// to the buffered transitions' originating source instead.
@@ -348,16 +363,31 @@ func (c *Collector) Ingest(source string, r io.Reader) error {
 	budget := c.Budget
 	budget.defaults()
 	stats := c.stats(source)
+	fast := c.fastParser(source)
 	c.curSource = source
-	defer func() { c.curSource = "" }()
+	scr := scratchPool.Get().(*scratch)
+	scr.reset()
+	c.scr = scr
+	defer func() {
+		c.curSource = ""
+		c.scr = nil
+		// Keep pooled memory bounded: an unusually large feed should not
+		// pin its arena for the life of the process.
+		if cap(scr.arena) > 8<<20 {
+			scr.arena = nil
+		}
+		if cap(scr.spans) > 1<<16 {
+			scr.spans = nil
+		}
+		scratchPool.Put(scr)
+	}()
 
-	// consume runs one raw line through the parser under the error budget;
-	// it reports false once the source is quarantined.
-	consume := func(line string) bool {
-		stats.Lines++
-		mLines.Inc()
-		if err := parse(line); err != nil {
-			c.Malformed.add(source, line, err)
+	// record applies the error-budget accounting for one consumed line;
+	// it reports false once the source is quarantined. line is lazy so
+	// the fast path only materializes a string on the malformed path.
+	record := func(err error, line func() string) bool {
+		if err != nil {
+			c.Malformed.add(source, line(), err)
 			stats.Malformed++
 			mMalformed.Inc()
 			if stats.Lines >= budget.MinLines && float64(stats.Malformed) > budget.MaxDropRate*float64(stats.Lines) {
@@ -372,9 +402,29 @@ func (c *Collector) Ingest(source string, r io.Reader) error {
 		}
 		return true
 	}
+	// consume runs one raw line through the reference parser.
+	consume := func(line string) bool {
+		stats.Lines++
+		mLines.Inc()
+		return record(parse(line), func() string { return line })
+	}
+	// consumeBytes runs one raw line through the zero-copy parser,
+	// falling back to the reference parser whenever it declines.
+	consumeBytes := func(line []byte) bool {
+		stats.Lines++
+		mLines.Inc()
+		handled, err := fast(line)
+		if handled {
+			mFastLines.Inc()
+		} else {
+			mFastFallback.Inc()
+			err = parse(string(line))
+		}
+		return record(err, func() string { return string(line) })
+	}
 
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	sc.Buffer(scr.scanbuf, 4*1024*1024)
 
 	if stamp := lineStamp[source]; stamp != nil {
 		// Order-sensitive feed: its parser replays a state machine (OSPF
@@ -383,22 +433,53 @@ func (c *Collector) Ingest(source string, r io.Reader) error {
 		// corrupt reconstructed state. Buffer the feed and restore record
 		// order before parsing. Lines whose timestamp cannot be read sort
 		// to the front, where the parser tallies them as malformed.
-		type stamped struct {
-			at   time.Time
-			line string
+		if fast != nil {
+			// Zero-copy variant: lines land in the pooled arena and are
+			// sorted as spans; the stamps fall back to the reference
+			// stamp readers only on unusual forms.
+			fstamp := fastLineStamp(source)
+			for sc.Scan() {
+				b := sc.Bytes()
+				if len(b) == 0 || b[0] == '#' {
+					continue
+				}
+				scr.spans = append(scr.spans, lineSpan{off: len(scr.arena), n: len(b), at: fstamp(b, stamp)})
+				scr.arena = append(scr.arena, b...)
+			}
+			sort.SliceStable(scr.spans, func(i, j int) bool { return scr.spans[i].at.Before(scr.spans[j].at) })
+			for _, sp := range scr.spans {
+				if !consumeBytes(scr.arena[sp.off : sp.off+sp.n]) {
+					return nil
+				}
+			}
+		} else {
+			type stamped struct {
+				at   time.Time
+				line string
+			}
+			var lines []stamped
+			for sc.Scan() {
+				line := sc.Text()
+				if line == "" || line[0] == '#' {
+					continue
+				}
+				at, _ := stamp(line)
+				lines = append(lines, stamped{at: at, line: line})
+			}
+			sort.SliceStable(lines, func(i, j int) bool { return lines[i].at.Before(lines[j].at) })
+			for _, l := range lines {
+				if !consume(l.line) {
+					return nil
+				}
+			}
 		}
-		var lines []stamped
+	} else if fast != nil {
 		for sc.Scan() {
-			line := sc.Text()
-			if line == "" || line[0] == '#' {
+			line := sc.Bytes()
+			if len(line) == 0 || line[0] == '#' {
 				continue
 			}
-			at, _ := stamp(line)
-			lines = append(lines, stamped{at: at, line: line})
-		}
-		sort.SliceStable(lines, func(i, j int) bool { return lines[i].at.Before(lines[j].at) })
-		for _, l := range lines {
-			if !consume(l.line) {
+			if !consumeBytes(line) {
 				return nil
 			}
 		}
@@ -418,6 +499,42 @@ func (c *Collector) Ingest(source string, r io.Reader) error {
 		mQuarantined.Inc()
 	}
 	return nil
+}
+
+// fastLineStamp returns the zero-copy stamp reader for an order-restored
+// source. The reader receives the reference stamp function and falls
+// back to it (via one string conversion) on any form the byte scanner is
+// not certain about, so sort keys — and therefore store IDs — are
+// identical on both paths.
+func fastLineStamp(source string) func(line []byte, ref func(string) (time.Time, bool)) time.Time {
+	if source == SourceOSPFMon {
+		return func(line []byte, ref func(string) (time.Time, bool)) time.Time {
+			i := bytes.IndexByte(line, ' ')
+			if i < 0 {
+				i = len(line)
+			}
+			if at, ok := parseRFC3339(line[:i]); ok {
+				return at
+			}
+			at, _ := ref(string(line))
+			return at
+		}
+	}
+	sep := byte(',')
+	if source == SourceBGPMon {
+		sep = '|'
+	}
+	return func(line []byte, ref func(string) (time.Time, bool)) time.Time {
+		i := bytes.IndexByte(line, sep)
+		if i < 0 {
+			return time.Time{}
+		}
+		secs, ok := parseInt64(line[:i])
+		if !ok {
+			return time.Time{}
+		}
+		return time.Unix(secs, 0).UTC()
+	}
 }
 
 // lineStamp maps each centrally-stamped, order-sensitive source to a

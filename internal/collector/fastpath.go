@@ -1,0 +1,577 @@
+package collector
+
+import (
+	"bytes"
+	"net/netip"
+	"sync"
+	"time"
+
+	"grca/internal/bgp"
+	"grca/internal/event"
+	"grca/internal/locus"
+	"grca/internal/obs"
+)
+
+// The zero-copy fast path. Each of the five hottest feeds (syslog, SNMP,
+// BGPMon, OSPFMon, PerfMon) has a fast parser that works directly on the
+// scanner's []byte line — no per-line string conversion, no
+// strings.Split garbage — and shares the legacy parser's downstream
+// logic (threshold detectors, routing simulations, pairing buffers).
+//
+// Parity is by construction: a fast parser performs no side effect until
+// the whole line has validated, and the moment anything is unusual — a
+// field the byte-level scanner cannot handle with certainty, an unknown
+// device, a float form outside the exact-division fast path — it returns
+// handled=false and the legacy parser consumes the line instead,
+// producing the event or the error message the slow path always
+// produced. The only errors a fast parser returns itself come from the
+// same shared calls (BGP/OSPF simulations) the legacy parser would have
+// made with identical arguments. FuzzParserParity (fuzz_parity_test.go)
+// runs whole feeds through both paths and requires identical stores,
+// stats, and malformed samples.
+var (
+	mFastLines    = obs.GetCounter("collector.fastpath.lines")
+	mFastFallback = obs.GetCounter("collector.fastpath.fallback")
+)
+
+// scratch is the pooled per-Ingest working memory of the fast path: the
+// scanner's initial buffer, the line arena for order-restored feeds, and
+// the field/key buffers the parsers slice into. Nothing in it survives
+// an Ingest call — events copy every string they keep — which is exactly
+// what the pooling-reuse fuzz seeds check.
+type scratch struct {
+	scanbuf []byte     // initial bufio.Scanner buffer
+	arena   []byte     // line bytes of an order-restored feed
+	spans   []lineSpan // line offsets into arena
+	fields  [][]byte   // reused field-split result
+	key     []byte     // baseline-key building
+	lower   []byte     // alias lower-casing
+}
+
+type lineSpan struct {
+	off, n int
+	at     time.Time
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &scratch{
+			scanbuf: make([]byte, 64*1024),
+			fields:  make([][]byte, 0, 16),
+		}
+	},
+}
+
+func (s *scratch) reset() {
+	s.arena = s.arena[:0]
+	s.spans = s.spans[:0]
+	s.fields = s.fields[:0]
+	s.key = s.key[:0]
+}
+
+// split splits line on sep into the reused fields buffer, with
+// strings.Split's semantics (n separators yield n+1 fields).
+func (s *scratch) split(line []byte, sep byte) [][]byte {
+	f := s.fields[:0]
+	for {
+		i := bytes.IndexByte(line, sep)
+		if i < 0 {
+			f = append(f, line)
+			break
+		}
+		f = append(f, line[:i])
+		line = line[i+1:]
+	}
+	s.fields = f
+	return f
+}
+
+// asciiFields splits b on single ASCII spaces. ok=false when the split
+// would not match strings.Fields — leading/trailing/double spaces, tabs
+// or other whitespace bytes, or non-ASCII content that could hide a
+// unicode space.
+func (s *scratch) asciiFields(b []byte) ([][]byte, bool) {
+	if len(b) == 0 {
+		s.fields = s.fields[:0]
+		return s.fields, true // Fields("") = no fields
+	}
+	if b[0] == ' ' || b[len(b)-1] == ' ' {
+		return nil, false
+	}
+	f := s.fields[:0]
+	start := 0
+	for i := 0; i < len(b); i++ {
+		switch c := b[i]; {
+		case c == ' ':
+			if i == start { // double space
+				return nil, false
+			}
+			f = append(f, b[start:i])
+			start = i + 1
+		case c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r' || c >= 0x80:
+			return nil, false
+		}
+	}
+	f = append(f, b[start:])
+	s.fields = f
+	return f, true
+}
+
+// trimSpaces trims ASCII spaces and tabs from both ends. ok=false when
+// the trimmed value still touches bytes strings.TrimSpace might also
+// trim (other control characters, possible unicode whitespace) — the
+// caller falls back rather than guessing.
+func trimSpaces(b []byte) ([]byte, bool) {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t') {
+		b = b[:len(b)-1]
+	}
+	if len(b) == 0 {
+		return b, true
+	}
+	if c := b[0]; c < 0x20 || c >= 0x80 {
+		return b, false
+	}
+	if c := b[len(b)-1]; c < 0x20 || c >= 0x80 {
+		return b, false
+	}
+	return b, true
+}
+
+// parseInt64 parses a base-10 integer with exactly strconv.ParseInt's
+// accept set (optional sign, digits only, int64 range). ok=false on
+// anything ParseInt would reject.
+func parseInt64(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		b = b[1:]
+		if len(b) == 0 {
+			return 0, false
+		}
+	}
+	var n uint64
+	const cutoff = (1<<63 - 1) // max magnitude before the final digit check
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		if n > cutoff/10+1 { // will overflow even the negative bound
+			return 0, false
+		}
+		n = n*10 + uint64(c-'0')
+	}
+	if neg {
+		if n > 1<<63 {
+			return 0, false
+		}
+		return -int64(n), true
+	}
+	if n > 1<<63-1 {
+		return 0, false
+	}
+	return int64(n), true
+}
+
+// pow10 holds the exactly-representable powers of ten used by
+// parseFloat's exact-division fast path.
+var pow10 = [...]float64{1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15}
+
+// parseFloat parses plain decimal forms ("87.5", "-0.25", "940") whose
+// value is mantissa/10^k with at most 15 mantissa digits. For those,
+// float64(mantissa)/10^k is a single correctly-rounded operation, so the
+// result is bit-identical to strconv.ParseFloat. Exponents, hex floats,
+// Inf/NaN, and long mantissas report ok=false — the line falls back to
+// the legacy parser, not to a slower float path, keeping the accept set
+// decided in exactly one place.
+func parseFloat(b []byte) (float64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	if b[0] == '+' || b[0] == '-' {
+		neg = b[0] == '-'
+		b = b[1:]
+	}
+	var mant uint64
+	digits, frac := 0, -1
+	for i, c := range b {
+		switch {
+		case c >= '0' && c <= '9':
+			mant = mant*10 + uint64(c-'0')
+			digits++
+		case c == '.':
+			if frac >= 0 { // second dot
+				return 0, false
+			}
+			frac = len(b) - i - 1
+		default:
+			return 0, false
+		}
+	}
+	if digits == 0 || digits > 15 {
+		return 0, false
+	}
+	v := float64(mant)
+	if frac > 0 {
+		v /= pow10[frac]
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+var monthNum = map[string]time.Month{
+	"Jan": 1, "Feb": 2, "Mar": 3, "Apr": 4, "May": 5, "Jun": 6,
+	"Jul": 7, "Aug": 8, "Sep": 9, "Oct": 10, "Nov": 11, "Dec": 12,
+}
+
+// mdays is days-per-month as time.Parse validates a year-less stamp:
+// the zero year is a leap year, so Feb 29 parses.
+var mdays = [...]int{0, 31, 29, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+func digit2(b []byte) (int, bool) {
+	if b[0] < '0' || b[0] > '9' || b[1] < '0' || b[1] > '9' {
+		return 0, false
+	}
+	return int(b[0]-'0')*10 + int(b[1]-'0'), true
+}
+
+// parseSyslogStamp parses the strict 15-byte "Jan _2 15:04:05" form
+// (exact month case, space- or zero-padded day, two-digit clock fields).
+// Any other shape time.Parse might accept — lower-case months, ragged
+// digits — reports ok=false and falls back.
+func parseSyslogStamp(b []byte) (m time.Month, d, hh, mm, ss int, ok bool) {
+	if len(b) != 15 || b[3] != ' ' || b[6] != ' ' || b[9] != ':' || b[12] != ':' {
+		return 0, 0, 0, 0, 0, false
+	}
+	m, okm := monthNum[string(b[:3])] // no-alloc map probe
+	if !okm {
+		return 0, 0, 0, 0, 0, false
+	}
+	switch {
+	case b[4] == ' ' && b[5] >= '0' && b[5] <= '9':
+		d = int(b[5] - '0')
+	default:
+		var okd bool
+		if d, okd = digit2(b[4:6]); !okd {
+			return 0, 0, 0, 0, 0, false
+		}
+	}
+	var ok1, ok2, ok3 bool
+	hh, ok1 = digit2(b[7:9])
+	mm, ok2 = digit2(b[10:12])
+	ss, ok3 = digit2(b[13:15])
+	if !ok1 || !ok2 || !ok3 || d < 1 || d > mdays[m] || hh > 23 || mm > 59 || ss > 59 {
+		return 0, 0, 0, 0, 0, false
+	}
+	return m, d, hh, mm, ss, true
+}
+
+// parseRFC3339 parses the strict 20-byte Zulu form
+// "2006-01-02T15:04:05Z". Offsets, fractional seconds, and anything else
+// time.Parse(time.RFC3339, ...) also accepts report ok=false.
+func parseRFC3339(b []byte) (time.Time, bool) {
+	if len(b) != 20 || b[4] != '-' || b[7] != '-' || b[10] != 'T' ||
+		b[13] != ':' || b[16] != ':' || b[19] != 'Z' {
+		return time.Time{}, false
+	}
+	y1, ok0 := digit2(b[0:2])
+	y2, ok1 := digit2(b[2:4])
+	mo, ok2 := digit2(b[5:7])
+	d, ok3 := digit2(b[8:10])
+	hh, ok4 := digit2(b[11:13])
+	mm, ok5 := digit2(b[14:16])
+	ss, ok6 := digit2(b[17:19])
+	if !ok0 || !ok1 || !ok2 || !ok3 || !ok4 || !ok5 || !ok6 {
+		return time.Time{}, false
+	}
+	y := y1*100 + y2
+	if mo < 1 || mo > 12 || d < 1 || hh > 23 || mm > 59 || ss > 59 {
+		return time.Time{}, false
+	}
+	t := time.Date(y, time.Month(mo), d, hh, mm, ss, 0, time.UTC)
+	if t.Day() != d || t.Month() != time.Month(mo) { // Feb 30 etc. normalized
+		return time.Time{}, false
+	}
+	return t, true
+}
+
+// canonical resolves a device reference through the alias table on the
+// fast path, mirroring Canonical's resolution order: alias map first,
+// then IP-address references (monitor feeds key routers by loopback)
+// through the address cache. ok=false falls back to the legacy parser.
+func (c *Collector) canonical(scr *scratch, ref []byte) (string, bool) {
+	trimmed, tok := trimSpaces(ref)
+	if !tok {
+		return "", false
+	}
+	name, lower, ok := c.Aliases.CanonicalBytes(trimmed, scr.lower)
+	scr.lower = lower
+	if ok {
+		return name, true
+	}
+	if a, ok := c.addrCached(trimmed); ok {
+		if name, ok := c.Aliases.CanonicalIP(a); ok {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// addrCached validates and resolves an IP address field through a
+// per-collector cache, so repeated references parse (and allocate) once.
+func (c *Collector) addrCached(b []byte) (netip.Addr, bool) {
+	if a, ok := c.addrCache[string(b)]; ok { // no-alloc map probe
+		return a, a.IsValid()
+	}
+	s := string(b)
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		// Negative entries are not cached: garbage fields are unbounded,
+		// and the fallback path re-parses them anyway.
+		return netip.Addr{}, false
+	}
+	if c.addrCache == nil {
+		c.addrCache = map[string]netip.Addr{}
+	}
+	c.addrCache[s] = a
+	return a, true
+}
+
+// prefixCached is addrCached for CIDR prefixes (the BGPMon feed).
+func (c *Collector) prefixCached(b []byte) (netip.Prefix, bool) {
+	if p, ok := c.prefixCache[string(b)]; ok {
+		return p, true
+	}
+	s := string(b)
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		return netip.Prefix{}, false
+	}
+	if c.prefixCache == nil {
+		c.prefixCache = map[string]netip.Prefix{}
+	}
+	c.prefixCache[s] = p
+	return p, true
+}
+
+// fastParser returns the zero-copy parser for a source, or nil when the
+// source has none (or legacy parsing is forced). The returned function
+// reports handled=false when the line must be re-parsed by the legacy
+// parser; when it reports handled=true its side effects and returned
+// error are identical to the legacy parser's.
+func (c *Collector) fastParser(source string) func([]byte) (bool, error) {
+	if c.LegacyParsers {
+		return nil
+	}
+	switch source {
+	case SourceSyslog:
+		return c.fastSyslog
+	case SourceSNMP:
+		return c.fastSNMP
+	case SourceBGPMon:
+		return c.fastBGPMon
+	case SourceOSPFMon:
+		return c.fastOSPFMon
+	case SourcePerfMon:
+		return c.fastPerfMon
+	}
+	return nil
+}
+
+// fastSNMP is the zero-copy twin of parseSNMP.
+func (c *Collector) fastSNMP(line []byte) (bool, error) {
+	scr := c.scr
+	f := scr.split(line, ',')
+	if len(f) != 5 {
+		return false, nil
+	}
+	sec, ok := parseInt64(f[0])
+	if !ok {
+		return false, nil
+	}
+	router, ok := c.canonical(scr, f[1])
+	if !ok {
+		return false, nil
+	}
+	value, ok := parseFloat(f[4])
+	if !ok {
+		return false, nil
+	}
+	start := time.Unix(sec, 0).UTC()
+	end := start.Add(5 * time.Minute)
+	switch {
+	case bytes.Equal(f[2], []byte("cpu5min")):
+		if value >= c.Thresholds.CPUAveragePct {
+			c.add(event.CPUHighAverage, start, end, locus.At(locus.Router, router),
+				map[string]string{"cpu": string(f[4])})
+		}
+	case bytes.Equal(f[2], []byte("ifutil")):
+		if len(f[3]) == 0 {
+			return false, nil
+		}
+		if value >= c.Thresholds.LinkUtilPct {
+			c.add(event.LinkCongestion, start, end,
+				locus.Between(locus.Interface, router, string(f[3])),
+				map[string]string{"util": string(f[4])})
+		}
+	case bytes.Equal(f[2], []byte("iferrors")):
+		if len(f[3]) == 0 {
+			return false, nil
+		}
+		if value >= c.Thresholds.LinkErrorCount {
+			c.add(event.LinkLoss, start, end,
+				locus.Between(locus.Interface, router, string(f[3])),
+				map[string]string{"errors": string(f[4])})
+		}
+	default:
+		return false, nil
+	}
+	return true, nil
+}
+
+// fastPerfMon is the zero-copy twin of parsePerfMon. The rolling
+// baselines are shared state with the legacy path, keyed by the same
+// loc.Key()-derived strings built here without allocation.
+func (c *Collector) fastPerfMon(line []byte) (bool, error) {
+	scr := c.scr
+	f := scr.split(line, ',')
+	if len(f) != 6 {
+		return false, nil
+	}
+	sec, ok := parseInt64(f[0])
+	if !ok {
+		return false, nil
+	}
+	ingress, ok := c.canonical(scr, f[1])
+	if !ok {
+		return false, nil
+	}
+	egress, ok := c.canonical(scr, f[2])
+	if !ok {
+		return false, nil
+	}
+	var vals [3]float64
+	for i := 0; i < 3; i++ {
+		if vals[i], ok = parseFloat(f[3+i]); !ok {
+			return false, nil
+		}
+	}
+	delay, loss, tput := vals[0], vals[1], vals[2]
+	delayB, lossB, tputB := f[3], f[4], f[5]
+	start := time.Unix(sec, 0).UTC()
+	end := start.Add(5 * time.Minute)
+	loc := locus.Between(locus.IngressEgress, ingress, egress)
+
+	// Build "<loc.Key()>/<kind>" into the scratch key buffer.
+	scr.key = append(scr.key[:0], "ingress:egress|"...)
+	scr.key = append(scr.key, ingress...)
+	scr.key = append(scr.key, '|')
+	scr.key = append(scr.key, egress...)
+	base := len(scr.key)
+
+	scr.key = append(scr.key[:base], "/delay"...)
+	c.judgeKey(scr.key, delay, func(med float64) bool {
+		return delay > med*c.Thresholds.DelayFactor
+	}, func() {
+		c.add(event.DelayIncrease, start, end, loc, map[string]string{"delay_ms": string(delayB)})
+	})
+	scr.key = append(scr.key[:base], "/loss"...)
+	c.judgeKey(scr.key, loss, func(med float64) bool {
+		return loss > med+c.Thresholds.LossDelta
+	}, func() {
+		c.add(event.LossIncrease, start, end, loc, map[string]string{"loss_pct": string(lossB)})
+	})
+	scr.key = append(scr.key[:base], "/tput"...)
+	c.judgeKey(scr.key, tput, func(med float64) bool {
+		return med > 0 && tput < med*c.Thresholds.TputFactor
+	}, func() {
+		c.add(event.ThroughputDrop, start, end, loc, map[string]string{"tput_mbps": string(tputB)})
+	})
+	return true, nil
+}
+
+// fastBGPMon is the zero-copy twin of parseBGPMon. Simulation errors are
+// returned directly: they come from the same Announce/Withdraw calls the
+// legacy parser makes with identical arguments.
+func (c *Collector) fastBGPMon(line []byte) (bool, error) {
+	scr := c.scr
+	f := scr.split(line, '|')
+	if len(f) < 4 {
+		return false, nil
+	}
+	sec, ok := parseInt64(f[0])
+	if !ok {
+		return false, nil
+	}
+	prefix, ok := c.prefixCached(f[2])
+	if !ok {
+		return false, nil
+	}
+	egress, ok := c.canonical(scr, f[3])
+	if !ok {
+		return false, nil
+	}
+	at := time.Unix(sec, 0).UTC()
+	switch {
+	case len(f[1]) == 1 && f[1][0] == 'W':
+		return true, c.BGP.Withdraw(at, prefix, egress)
+	case len(f[1]) == 1 && f[1][0] == 'A':
+		if len(f) != 8 {
+			return false, nil
+		}
+		var nums [4]int
+		for i := 0; i < 4; i++ {
+			v, ok := parseInt64(f[4+i])
+			if !ok {
+				return false, nil
+			}
+			nums[i] = int(v)
+		}
+		return true, c.BGP.Announce(at, bgp.Route{
+			Prefix: prefix, Egress: egress,
+			LocalPref: nums[0], ASPathLen: nums[1], MED: nums[2], Origin: nums[3],
+		})
+	}
+	return false, nil
+}
+
+// fastOSPFMon is the zero-copy twin of parseOSPFMon; the whole back half
+// (simulation update, re-convergence events, cost buffers) is the shared
+// applyOSPFMon.
+func (c *Collector) fastOSPFMon(line []byte) (bool, error) {
+	scr := c.scr
+	f, ok := scr.asciiFields(line)
+	if !ok {
+		return false, nil
+	}
+	if len(f) != 5 && !(len(f) == 6 && bytes.Equal(f[5], []byte("initial"))) {
+		return false, nil
+	}
+	at, ok := parseRFC3339(f[0])
+	if !ok {
+		return false, nil
+	}
+	if _, ok := c.addrCached(f[1]); !ok {
+		return false, nil
+	}
+	ifip, ok := c.addrCached(f[2])
+	if !ok {
+		return false, nil
+	}
+	if !bytes.Equal(f[3], []byte("metric")) {
+		return false, nil
+	}
+	metric64, ok := parseInt64(f[4])
+	if !ok || metric64 < 0 || metric64 > int64(int(^uint(0)>>1)) {
+		return false, nil
+	}
+	return true, c.applyOSPFMon(at, ifip, int(metric64), string(f[4]), len(f) == 6)
+}

@@ -1,0 +1,149 @@
+package collector
+
+import (
+	"bytes"
+	"time"
+
+	"grca/internal/event"
+	"grca/internal/locus"
+)
+
+// fastSyslog is the zero-copy twin of parseSyslog. It handles the strict
+// RFC 3164 shape with the high-volume tags (LINK/LINEPROTO up-down,
+// BGP adjacency changes, restarts, CPU spikes) and unrecognized tags;
+// everything else — generic-signature mode, PIM and NOTIFICATION bodies,
+// ragged timestamps — falls back to the legacy parser before any side
+// effect happens.
+func (c *Collector) fastSyslog(line []byte) (bool, error) {
+	if c.EmitGenericSignatures {
+		// The generic per-signature event would have to be emitted before
+		// the tag dispatch could still fall back — mining runs use legacy.
+		return false, nil
+	}
+	if len(line) < 16 {
+		return false, nil
+	}
+	month, day, hh, mm, ss, ok := parseSyslogStamp(line[:15])
+	if !ok {
+		return false, nil
+	}
+	rest, ok := trimSpaces(line[15:])
+	if !ok {
+		return false, nil
+	}
+	sp := bytes.IndexByte(rest, ' ')
+	if sp < 0 {
+		return false, nil
+	}
+	router, ok := c.canonical(c.scr, rest[:sp])
+	if !ok {
+		return false, nil
+	}
+	msg, ok := trimSpaces(rest[sp+1:])
+	if !ok {
+		return false, nil
+	}
+	if len(msg) == 0 || msg[0] != '%' {
+		return false, nil
+	}
+	colon := bytes.IndexByte(msg, ':')
+	if colon < 0 {
+		return false, nil
+	}
+	tag := msg[1:colon]
+	body, ok := trimSpaces(msg[colon+1:])
+	if !ok {
+		return false, nil
+	}
+
+	year := c.Year
+	if year == 0 {
+		year = 2010
+	}
+	ts := time.Date(year, month, day, hh, mm, ss, 0, time.UTC)
+	at := c.resolveSyslogYear(ts, c.location(router))
+
+	switch {
+	case bytes.Equal(tag, []byte("LINK-3-UPDOWN")):
+		return c.fastUpDown(c.ifaceTrans, router, at, body, "Interface ")
+	case bytes.Equal(tag, []byte("LINEPROTO-5-UPDOWN")):
+		return c.fastUpDown(c.protoTrans, router, at, body, "Line protocol on Interface ")
+	case bytes.Equal(tag, []byte("BGP-5-ADJCHANGE")):
+		return c.fastBGPAdj(router, at, body)
+	case bytes.Equal(tag, []byte("SYS-5-RESTART")):
+		c.add(event.RouterReboot, at, at, locus.At(locus.Router, router), nil)
+		return true, nil
+	case bytes.Equal(tag, []byte("SYS-1-CPURISINGTHRESHOLD")):
+		c.add(event.CPUHighSpike, at, at, locus.At(locus.Router, router),
+			map[string]string{"detail": string(body)})
+		return true, nil
+	case bytes.Equal(tag, []byte("BGP-5-NOTIFICATION")), bytes.Equal(tag, []byte("PIM-5-NBRCHG")):
+		return false, nil
+	default:
+		// Unrecognized but well-formed: operational noise, same as legacy.
+		return true, nil
+	}
+}
+
+// fastUpDown is the zero-copy twin of syslogUpDown.
+func (c *Collector) fastUpDown(buf map[locus.Location][]transition, router string, at time.Time, body []byte, prefix string) (bool, error) {
+	if len(body) < len(prefix) || string(body[:len(prefix)]) != prefix {
+		return false, nil
+	}
+	rest := body[len(prefix):]
+	const clause = ", changed state to "
+	i := bytes.Index(rest, []byte(clause))
+	if i < 0 {
+		return false, nil
+	}
+	state, ok := trimSpaces(rest[i+len(clause):])
+	if !ok {
+		return false, nil
+	}
+	up := false
+	switch {
+	case bytes.Equal(state, []byte("up")):
+		up = true
+	case bytes.Equal(state, []byte("down")):
+	default:
+		return false, nil
+	}
+	loc := locus.Between(locus.Interface, router, string(rest[:i]))
+	buf[loc] = append(buf[loc], transition{at: at, loc: loc, up: up})
+	return true, nil
+}
+
+// fastBGPAdj is the zero-copy twin of syslogBGPAdj.
+func (c *Collector) fastBGPAdj(router string, at time.Time, body []byte) (bool, error) {
+	f, ok := c.scr.asciiFields(body)
+	if !ok || len(f) < 3 || !bytes.Equal(f[0], []byte("neighbor")) {
+		return false, nil
+	}
+	if _, ok := c.addrCached(f[1]); !ok {
+		return false, nil
+	}
+	loc := locus.Between(locus.RouterNeighbor, router, string(f[1]))
+	switch {
+	case bytes.Equal(f[2], []byte("Up")):
+		c.bgpTrans[loc] = append(c.bgpTrans[loc], transition{at: at, loc: loc, up: true})
+	case bytes.Equal(f[2], []byte("Down")):
+		var attr map[string]string
+		if len(f) > 3 {
+			// asciiFields guarantees single-space separation, so the
+			// joined reason is the raw tail of the body.
+			scr := c.scr
+			scr.key = scr.key[:0]
+			for i, w := range f[3:] {
+				if i > 0 {
+					scr.key = append(scr.key, ' ')
+				}
+				scr.key = append(scr.key, w...)
+			}
+			attr = map[string]string{"reason": string(scr.key)}
+		}
+		c.bgpTrans[loc] = append(c.bgpTrans[loc], transition{at: at, loc: loc, attr: attr})
+	default:
+		return false, nil
+	}
+	return true, nil
+}

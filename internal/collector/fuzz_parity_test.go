@@ -1,0 +1,160 @@
+package collector
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"grca/internal/store"
+	"grca/internal/testnet"
+	"grca/internal/wal"
+)
+
+// The differential parity harness: every fuzz input is fed — as a whole
+// multi-line feed — to two collectors over the same topology, one forced
+// onto the reference string parsers and one using the zero-copy fast
+// path. The two runs must agree on everything observable: the store
+// digest (event-for-event, ID-for-ID byte identity), per-source stats,
+// quarantine decisions, and the malformed samples with their exact error
+// strings. Multi-line inputs are the point — they exercise scratch-
+// buffer and arena reuse across lines, the class of aliasing bug pooling
+// introduces.
+func parityCheck(t *testing.T, source string, data []byte) {
+	t.Helper()
+	if len(data) > 1<<16 {
+		data = data[:1<<16]
+	}
+	n := testnet.Build(t.Fatalf)
+	window := func(c *Collector) {
+		c.WindowStart = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+		c.WindowEnd = time.Date(2010, 1, 8, 0, 0, 0, 0, time.UTC)
+	}
+	stFast, stRef := store.New(), store.New()
+	fast := New(n.Topo, stFast, 2010)
+	ref := New(n.Topo, stRef, 2010)
+	ref.LegacyParsers = true
+	window(fast)
+	window(ref)
+
+	errF := fast.Ingest(source, bytes.NewReader(data))
+	errR := ref.Ingest(source, bytes.NewReader(data))
+	if (errF == nil) != (errR == nil) || (errF != nil && errF.Error() != errR.Error()) {
+		t.Fatalf("ingest errors diverged: fast=%v ref=%v", errF, errR)
+	}
+	if err := fast.Finalize(); err != nil {
+		t.Fatalf("fast finalize: %v", err)
+	}
+	if err := ref.Finalize(); err != nil {
+		t.Fatalf("ref finalize: %v", err)
+	}
+
+	if dF, dR := wal.StoreDigest(stFast), wal.StoreDigest(stRef); dF != dR {
+		_, _, insF := stFast.Dump()
+		_, _, insR := stRef.Dump()
+		max := len(insF)
+		if len(insR) > max {
+			max = len(insR)
+		}
+		for i := 0; i < max; i++ {
+			var f, r any
+			if i < len(insF) {
+				f = insF[i]
+			}
+			if i < len(insR) {
+				r = insR[i]
+			}
+			if !reflect.DeepEqual(f, r) {
+				t.Errorf("event %d: fast=%+v ref=%+v", i, f, r)
+			}
+		}
+		t.Fatalf("store digest diverged: fast=%s ref=%s (%d vs %d events)",
+			dF, dR, len(insF), len(insR))
+	}
+	if fast.Malformed.Count != ref.Malformed.Count ||
+		!reflect.DeepEqual(fast.Malformed.Samples, ref.Malformed.Samples) {
+		t.Fatalf("malformed diverged:\nfast %d %q\nref  %d %q",
+			fast.Malformed.Count, fast.Malformed.Samples,
+			ref.Malformed.Count, ref.Malformed.Samples)
+	}
+	if !reflect.DeepEqual(fast.Summary(), ref.Summary()) {
+		t.Fatalf("summaries diverged:\nfast %+v\nref  %+v", fast.Summary(), ref.Summary())
+	}
+}
+
+func FuzzParserParitySyslog(f *testing.F) {
+	f.Add([]byte("Jan  2 06:00:00 chi-per1 %LINK-3-UPDOWN: Interface to-custB, changed state to down\n" +
+		"Jan  2 06:00:40 chi-per1 %LINK-3-UPDOWN: Interface to-custB, changed state to up\n"))
+	f.Add([]byte("Jan  2 06:00:01 CHI-PER1.NET.EXAMPLE.COM %LINEPROTO-5-UPDOWN: Line protocol on Interface to-chi-cr1, changed state to down"))
+	// Pooling reuse: distinct interface names and reasons on consecutive
+	// lines must not alias each other's bytes.
+	f.Add([]byte("Jan  2 06:00:00 chi-per1 %BGP-5-ADJCHANGE: neighbor 10.1.0.10 Down Interface flap\n" +
+		"Jan  2 06:00:05 chi-per1 %BGP-5-ADJCHANGE: neighbor 10.1.0.10 Up\n" +
+		"Jan  2 06:00:09 nyc-per1 %BGP-5-ADJCHANGE: neighbor 10.2.0.10 Down hold time expired\n"))
+	f.Add([]byte("Jan  2 06:00:00 chi-per1 %BGP-5-NOTIFICATION: sent to neighbor 10.1.0.10 4/0 (hold time expired)"))
+	f.Add([]byte("Jan  2 06:00:00 chi-per1 %PIM-5-NBRCHG: VRF custA: neighbor 10.255.0.9 DOWN"))
+	f.Add([]byte("Jan  2 06:00:00 chi-per1 %SYS-5-RESTART: System restarted\n" +
+		"Jan  2 06:00:01 chi-per1 %SYS-1-CPURISINGTHRESHOLD: CPU at 97%"))
+	f.Add([]byte("jan  2 06:00:00 chi-per1 %SYS-5-RESTART: lower-case month parses via reference path"))
+	f.Add([]byte("Feb 29 06:00:00 chi-per1 %SYS-5-RESTART: leap-ish day\nFeb 30 06:00:00 chi-per1 %SYS-5-RESTART: bad day"))
+	f.Add([]byte("Dec 31 20:00:00 chi-per1 %SYS-5-RESTART: year wrap"))
+	f.Add([]byte("Jan 02 15:04:05 chi-per1 %UNKNOWN-7-TAG: noise"))
+	f.Add([]byte("Jan  2 15:04:05 chi-per1   %SYS-5-RESTART:   padded   \n\n# comment\nshort"))
+	f.Add([]byte("Jan  2 15:04:05 unknown-device %SYS-5-RESTART: x\nJan  2 15:04:05 chi-per1\t%SYS-5-RESTART: tab"))
+	f.Fuzz(func(t *testing.T, data []byte) { parityCheck(t, SourceSyslog, data) })
+}
+
+func FuzzParserParitySNMP(f *testing.F) {
+	f.Add([]byte("1262304000,chi-per1,cpu5min,,87.5\n1262304000,CHI-CR1,ifutil,to-chi-cr2,92.0\n" +
+		"1262304000,chi-cr1,iferrors,to-chi-cr2,340\n"))
+	f.Add([]byte("1262304300,chi-per1,cpu5min,,12.5\n1262304000,chi-per1,cpu5min,,99\n")) // out of order
+	f.Add([]byte("1262304000,chi-per1,cpu5min,,1e2\n+1262304000,chi-per1,cpu5min,,87.5\n"))
+	f.Add([]byte("1262304000,chi-per1,ifutil,,92.0\nbad,chi-per1,cpu5min,,87.5\n1262304000,nobody,cpu5min,,87.5"))
+	f.Add([]byte("1262304000,10.255.0.1,cpu5min,,97.25\n1262304000,chi-per1,bogus,,1\n1262304000,chi-per1,cpu5min,87.5"))
+	f.Add([]byte("9223372036854775808,chi-per1,cpu5min,,87.5\n-62135596800,chi-per1,cpu5min,,87.5"))
+	f.Fuzz(func(t *testing.T, data []byte) { parityCheck(t, SourceSNMP, data) })
+}
+
+func FuzzParserParityBGPMon(f *testing.F) {
+	f.Add([]byte("1262304000|A|198.51.100.0/24|10.255.0.6|100|3|0|0\n" +
+		"1262307600|W|198.51.100.0/24|10.255.0.6\n"))
+	f.Add([]byte("1262307600|W|198.51.100.0/24|chi-per1|extra\n1262304000|A|198.51.100.0/24|chi-per1|100|3|0|0"))
+	f.Add([]byte("1262304000|A|198.51.100.0/24|10.255.0.6|100|3|0\n1262304000|X|198.51.100.0/24|10.255.0.6\n" +
+		"bad|A|198.51.100.0/24|10.255.0.6|100|3|0|0\n1262304000|A|not-a-prefix|10.255.0.6|100|3|0|0"))
+	// Out-of-order announces over two prefixes: order restoration must
+	// agree byte-for-byte between the string and arena buffering paths.
+	f.Add([]byte("1262307600|A|198.51.100.0/24|10.255.0.6|100|3|0|0\n" +
+		"1262304000|A|203.0.113.0/24|10.255.0.6|100|3|0|0\n" +
+		"1262305000|W|198.51.100.0/24|10.255.0.6\n"))
+	f.Add([]byte("1262304000|A|198.51.100.0/24|unknown|100|3|0|0\n1262304000|A|198.51.100.0/24|10.255.0.6|+1|-2|0|0"))
+	f.Fuzz(func(t *testing.T, data []byte) { parityCheck(t, SourceBGPMon, data) })
+}
+
+func FuzzParserParityOSPFMon(f *testing.F) {
+	f.Add([]byte("2010-01-01T00:00:00Z 10.255.0.1 10.0.0.1 metric 10 initial\n" +
+		"2010-01-02T03:04:05Z 10.255.0.1 10.0.0.1 metric 65535\n" +
+		"2010-01-02T04:00:00Z 10.255.0.1 10.0.0.1 metric 10\n"))
+	f.Add([]byte("2010-01-02T03:04:05-05:00 10.255.0.1 10.0.0.1 metric 20\n" + // offset form: reference stamp+parse
+		"2010-01-02T03:04:05Z 10.255.0.1 10.0.0.1 metric 21\n"))
+	f.Add([]byte("2010-01-02T03:04:05Z  10.255.0.1 10.0.0.1 metric 10\n" + // double space
+		"2010-01-02T03:04:05Z 10.255.0.1 10.0.0.1\tmetric 10\n" + // tab
+		"2010-02-30T03:04:05Z 10.255.0.1 10.0.0.1 metric 10\n")) // bad day
+	f.Add([]byte("2010-01-02T03:04:05Z bad-addr 10.0.0.1 metric 10\n2010-01-02T03:04:05Z 10.255.0.1 10.9.9.9 metric 10\n" +
+		"2010-01-02T03:04:05Z 10.255.0.1 10.0.0.1 metric -1\n2010-01-02T03:04:05Z 10.255.0.1 10.0.0.1 weight 10\n" +
+		"2010-01-02T03:04:05Z 10.255.0.1 10.0.0.1 metric 10 bogus"))
+	f.Fuzz(func(t *testing.T, data []byte) { parityCheck(t, SourceOSPFMon, data) })
+}
+
+func FuzzParserParityPerfMon(f *testing.F) {
+	// Enough samples to arm the rolling baseline, then a breach: the
+	// shared-baseline bookkeeping must agree across paths.
+	f.Add([]byte("1262304000,nyc-per1,chi-per1,23.1,0.0,940\n" +
+		"1262304300,nyc-per1,chi-per1,23.0,0.0,941\n" +
+		"1262304600,nyc-per1,chi-per1,23.2,0.0,939\n" +
+		"1262304900,nyc-per1,chi-per1,80.5,2.5,200\n"))
+	f.Add([]byte("1262304300,nyc-per1,chi-per1,23.0,0.0,941\n1262304000,NYC-PER1,CHI-PER1,23.1,0.0,940\n")) // out of order + case
+	f.Add([]byte("1262304000,nyc-per1,chi-per1,2.31e1,0.0,940\n1262304000,nyc-per1,nobody,23.1,0.0,940\n" +
+		"1262304000,nyc-per1,chi-per1,23.1,0.0\n1262304000,nyc-per1,chi-per1,23.1,0.0,940,extra"))
+	f.Add([]byte("# comment\n\n1262304000,10.255.0.2,10.255.0.1,0.5,0.25,100.125"))
+	f.Fuzz(func(t *testing.T, data []byte) { parityCheck(t, SourcePerfMon, data) })
+}

@@ -120,6 +120,21 @@ func (c *Collector) judge(key string, v float64, breach func(median float64) boo
 	}
 }
 
+// judgeKey is judge for the zero-copy path: the key arrives as bytes and
+// is only copied to a string when a new baseline is created. Both paths
+// share c.perfBase, so a feed may switch paths mid-stream without
+// resetting its baselines.
+func (c *Collector) judgeKey(key []byte, v float64, breach func(median float64) bool, emit func()) {
+	b := c.perfBase[string(key)] // no-alloc map probe
+	if b == nil {
+		b = newBaseline(baselineWindow)
+		c.perfBase[string(key)] = b
+	}
+	if med, ready := b.observe(v); ready && breach(med) {
+		emit()
+	}
+}
+
 // parseKeynote ingests the CDN measurement agents' feed (the paper's
 // Keynote data), one CSV row per (server, agent) measurement:
 //

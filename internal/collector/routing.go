@@ -63,8 +63,13 @@ func (c *Collector) parseOSPFMon(line string) error {
 	if err != nil || metric < 0 {
 		return fmt.Errorf("bad metric %q", fields[4])
 	}
-	initial := len(fields) == 6
+	return c.applyOSPFMon(at, ifip, metric, fields[4], len(fields) == 6)
+}
 
+// applyOSPFMon is the back half of OSPFMon parsing — simulation update
+// and event inference — shared verbatim by the reference parser and the
+// zero-copy fast path so the two cannot drift.
+func (c *Collector) applyOSPFMon(at time.Time, ifip netip.Addr, metric int, metricText string, initial bool) error {
 	ifc, ok := c.Topo.InterfaceByIP(ifip)
 	if !ok || ifc.Link == nil {
 		return fmt.Errorf("interface address %v not on any known link", ifip)
@@ -85,7 +90,7 @@ func (c *Collector) parseOSPFMon(line string) error {
 
 	locA := locus.Between(locus.Interface, link.A.Router.Name, link.A.Name)
 	locB := locus.Between(locus.Interface, link.B.Router.Name, link.B.Name)
-	attrs := map[string]string{"link": link.ID, "metric": fields[4]}
+	attrs := map[string]string{"link": link.ID, "metric": metricText}
 	for _, loc := range []locus.Location{locA, locB} {
 		c.add(event.OSPFReconvergence, at, at, loc, attrs)
 	}

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -128,7 +129,12 @@ func (p *Package) Pass(fset *token.FileSet) *Pass {
 	return &Pass{Fset: fset, Files: p.Files, Pkg: p.Pkg, Info: p.Info, Path: p.Path}
 }
 
-// sourceFiles lists the non-test .go files of dir, sorted.
+// sourceFiles lists the non-test .go files of dir that build on the
+// host platform, sorted. Build constraints — `//go:build` lines and
+// `_GOOS`/`_GOARCH` filename suffixes — are honored via go/build, so a
+// package with per-platform variants of one function (e.g. the WAL's
+// fdatasync wrapper) type-checks exactly as the compiler would see it
+// rather than with both variants redeclared.
 func sourceFiles(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -138,6 +144,9 @@ func sourceFiles(dir string) ([]string, error) {
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
 			continue
 		}
 		names = append(names, name)

@@ -52,6 +52,52 @@ func (a *AliasTable) Canonical(ref string) (string, error) {
 	return "", fmt.Errorf("netmodel: unknown device reference %q", ref)
 }
 
+// CanonicalBytes resolves an alias given as raw feed bytes without
+// allocating in the common cases: an already-normalized reference hits
+// the map directly, and an upper-case ASCII reference is folded into the
+// caller's scratch buffer first. ok=false means the reference needs the
+// full Canonical treatment — unknown, an IP-address reference, or
+// non-ASCII — and the caller must fall back to Canonical. The (possibly
+// grown) scratch buffer is returned for reuse.
+func (a *AliasTable) CanonicalBytes(ref, scratch []byte) (name string, scratch2 []byte, ok bool) {
+	// Trim ASCII spaces and tabs; anything fancier at the boundaries
+	// (other control bytes, possible unicode whitespace) is a miss.
+	for len(ref) > 0 && (ref[0] == ' ' || ref[0] == '\t') {
+		ref = ref[1:]
+	}
+	for len(ref) > 0 && (ref[len(ref)-1] == ' ' || ref[len(ref)-1] == '\t') {
+		ref = ref[:len(ref)-1]
+	}
+	if len(ref) == 0 {
+		return "", scratch, false
+	}
+	if c := ref[0]; c < 0x20 || c >= 0x80 {
+		return "", scratch, false
+	}
+	if c := ref[len(ref)-1]; c < 0x20 || c >= 0x80 {
+		return "", scratch, false
+	}
+	if name, ok := a.byAlias[string(ref)]; ok { // no-alloc map probe
+		return name, scratch, true
+	}
+	// Fold upper-case ASCII and retry; refs with non-ASCII bytes would
+	// need unicode-aware lowering, so they miss instead.
+	scratch = scratch[:0]
+	for _, c := range ref {
+		if c >= 0x80 {
+			return "", scratch, false
+		}
+		if c >= 'A' && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		scratch = append(scratch, c)
+	}
+	if name, ok := a.byAlias[string(scratch)]; ok {
+		return name, scratch, true
+	}
+	return "", scratch, false
+}
+
 // CanonicalIP resolves a loopback address to its router.
 func (a *AliasTable) CanonicalIP(ip netip.Addr) (string, bool) {
 	name, ok := a.byIP[ip]

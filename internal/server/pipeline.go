@@ -35,6 +35,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -42,7 +43,6 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -63,6 +63,7 @@ import (
 	"grca/internal/rollup"
 	"grca/internal/store"
 	"grca/internal/wal"
+	"grca/internal/wire"
 )
 
 var (
@@ -76,11 +77,13 @@ var (
 
 // Journal record kinds. A record is kind | uvarint len(source) | source |
 // body: raw feed lines for recFeed, the JSON event array for recEvents,
+// a wire.KindEvents batch (verbatim request bytes) for recEventsWire,
 // empty for recFinalize.
 const (
-	recFeed     = 1
-	recFinalize = 2
-	recEvents   = 3
+	recFeed       = 1
+	recFinalize   = 2
+	recEvents     = 3
+	recEventsWire = 4
 )
 
 func encodeRecord(kind byte, source string, body []byte) []byte {
@@ -165,6 +168,13 @@ type Config struct {
 	// RequestTimeout bounds one request's wait for the applier (default
 	// 60s).
 	RequestTimeout time.Duration
+	// LegacyParsers forces the collector's reference string parsers
+	// instead of the zero-copy fast path (an escape hatch; the two are
+	// parity-tested byte-identical).
+	LegacyParsers bool
+	// ReplayWorkers is the WAL's recovery decode parallelism (0 =
+	// GOMAXPROCS).
+	ReplayWorkers int
 	// Debug mounts the expvar/pprof debug handlers under /debug/ on the
 	// main API address — the single-port deployment; a dedicated metrics
 	// listener (obs.ServeDebug) is the alternative.
@@ -257,6 +267,7 @@ func Open(cfg Config) (*Server, error) {
 	walOpts := wal.Options{
 		Fsync: cfg.Fsync, FsyncInterval: cfg.FsyncInterval,
 		SnapshotEvery: cfg.SnapshotEvery, Retention: cfg.Retention,
+		ReplayWorkers: cfg.ReplayWorkers,
 	}
 	l, st, _, walErr := wal.Open(cfg.DataDir, walOpts)
 
@@ -355,6 +366,7 @@ func replayJournal(cfg Config, topo *netmodel.Topology) (c *collector.Collector,
 		st.SetRetention(cfg.Retention)
 	}
 	c = collector.New(topo, st, cfg.Bundle.Start.Year())
+	c.LegacyParsers = cfg.LegacyParsers
 	c.WindowStart = cfg.Bundle.Start
 	c.WindowEnd = cfg.Bundle.Start.Add(cfg.Bundle.Duration)
 
@@ -366,7 +378,7 @@ func replayJournal(cfg Config, topo *netmodel.Topology) (c *collector.Collector,
 		batches++
 		switch kind {
 		case recFeed:
-			return c.Ingest(source, strings.NewReader(string(body)))
+			return c.Ingest(source, bytes.NewReader(body))
 		case recFinalize:
 			if err := c.Finalize(); err != nil {
 				return err
@@ -385,6 +397,18 @@ func replayJournal(cfg Config, topo *netmodel.Topology) (c *collector.Collector,
 					return fmt.Errorf("server: journaled event batch: %v", err)
 				}
 				st.Add(in)
+			}
+			return nil
+		case recEventsWire:
+			b, err := wire.Decode(body)
+			if err != nil {
+				return fmt.Errorf("server: journaled event batch: %v", err)
+			}
+			if b.Kind != wire.KindEvents {
+				return fmt.Errorf("server: journaled event batch: wire kind %d, want events", b.Kind)
+			}
+			for i := range b.Events {
+				st.Add(b.Events[i])
 			}
 			return nil
 		}
@@ -494,23 +518,46 @@ func rebuildTail(st *store.Store, p *realtime.Processor) {
 // Applier
 // ---------------------------------------------------------------------
 
-// applier is the single writer: it drains the queue, journals each batch
-// (the commit point), applies it, commits the WAL, and replies.
+// applier is the single writer: it drains the queue into commit groups
+// and replies to each batch. Draining coalesces the two fsyncs of a
+// commit (journal, WAL) across every batch already waiting — group
+// commit at the pipeline level, with the bounded queue itself as the
+// wait window, so the fsync amortization grows exactly when load does.
+// A finalize never shares a group: it flips what later batches are
+// allowed to do, so it always commits alone.
 func (s *Server) applier() {
 	defer close(s.done)
-	for t := range s.queue {
-		mQueueDepth.Set(int64(len(s.queue)))
-		var res taskResult
-		switch t.kind {
-		case recFeed:
-			res = s.applyFeed(t.source, t.lines)
-		case recEvents:
-			res = s.applyEvents(t.events, t.raw)
-		case recFinalize:
-			res = s.applyFinalize()
+	var carry *task
+	for {
+		var group []task
+		if carry != nil {
+			group, carry = []task{*carry}, nil
+		} else {
+			t, ok := <-s.queue
+			if !ok {
+				return
+			}
+			group = []task{t}
 		}
-		mBatches.Inc()
-		t.reply <- res
+		if group[0].kind != recFinalize {
+		drain:
+			for {
+				select {
+				case t, ok := <-s.queue:
+					if !ok {
+						break drain
+					}
+					if t.kind == recFinalize {
+						carry = &t
+						break drain
+					}
+					group = append(group, t)
+				default:
+					break drain
+				}
+			}
+		}
+		s.applyGroup(group)
 	}
 }
 
@@ -518,39 +565,112 @@ func errResult(status int, format string, args ...any) taskResult {
 	return taskResult{status: status, err: fmt.Errorf(format, args...)}
 }
 
+// applyGroup commits one group of batches: stage every journal record,
+// fsync the journal once (the group's commit point), apply each batch in
+// arrival order, commit the WAL once, then reply to everyone. A batch
+// rejected during validation is never journaled and never applied; a
+// failed journal write poisons the rest of the group (bytes after a torn
+// frame would not survive replay, so acknowledging them would lie).
+func (s *Server) applyGroup(group []task) {
+	mQueueDepth.Set(int64(len(s.queue)))
+	results := make([]taskResult, len(group))
+	staged := make([]bool, len(group))
+	journaled := 0
+	finalized := s.isFinalized() // stable: finalize is always alone in its group
+	var jerr error
+	for i, t := range group {
+		if jerr != nil {
+			results[i] = errResult(http.StatusInternalServerError, "journal: %v", jerr)
+			continue
+		}
+		var rec []byte
+		switch t.kind {
+		case recFeed:
+			if finalized {
+				results[i] = errResult(http.StatusConflict, "feeds are closed: the system is finalized (use events)")
+				continue
+			}
+			rec = encodeRecord(recFeed, t.source, t.lines)
+		case recEvents, recEventsWire:
+			rec = encodeRecord(t.kind, "", t.raw)
+		case recFinalize:
+			if finalized {
+				results[i] = errResult(http.StatusConflict, "already finalized")
+				continue
+			}
+			rec = encodeRecord(recFinalize, "", nil)
+		}
+		if err := s.jour.AppendNoSync(rec); err != nil {
+			jerr = err
+			results[i] = errResult(http.StatusInternalServerError, "journal: %v", err)
+			continue
+		}
+		staged[i] = true
+		journaled++
+	}
+	if journaled > 0 {
+		if err := s.jour.Sync(); err != nil {
+			for i := range group {
+				if staged[i] {
+					staged[i] = false
+					results[i] = errResult(http.StatusInternalServerError, "journal: %v", err)
+				}
+			}
+			journaled = 0
+		}
+	}
+	for i := range group {
+		if !staged[i] {
+			continue
+		}
+		t := &group[i]
+		switch t.kind {
+		case recFeed:
+			results[i] = s.applyFeed(t.source, t.lines)
+		case recEvents, recEventsWire:
+			results[i] = s.applyEvents(t.events)
+		case recFinalize:
+			results[i] = s.applyFinalize()
+		}
+	}
+	if journaled > 0 {
+		if err := s.log.Commit(); err != nil {
+			for i := range group {
+				if staged[i] && results[i].err == nil {
+					results[i] = errResult(http.StatusInternalServerError, "wal: %v", err)
+				}
+			}
+		}
+	}
+	for i, t := range group {
+		mBatches.Inc()
+		t.reply <- results[i]
+	}
+}
+
+// applyFeed runs one journaled feed batch through the collector. An
+// invalid batch is already journaled — replay hits the same
+// deterministic error path, so state stays consistent.
 func (s *Server) applyFeed(source string, lines []byte) taskResult {
-	if s.isFinalized() {
-		return errResult(http.StatusConflict, "feeds are closed: the system is finalized (use events)")
-	}
-	if err := s.jour.Append(encodeRecord(recFeed, source, lines)); err != nil {
-		return errResult(http.StatusInternalServerError, "journal: %v", err)
-	}
 	before := s.st.NextID()
-	if err := s.coll.Ingest(source, strings.NewReader(string(lines))); err != nil {
-		// The batch is journaled but invalid — replay hits the same
-		// deterministic error path, so state stays consistent.
+	if err := s.coll.Ingest(source, bytes.NewReader(lines)); err != nil {
 		return errResult(http.StatusBadRequest, "%v", err)
-	}
-	if err := s.log.Commit(); err != nil {
-		return errResult(http.StatusInternalServerError, "wal: %v", err)
 	}
 	stored := s.st.NextID() - before
 	mEvents.Add(int64(stored))
 	return taskResult{status: http.StatusOK, resp: IngestResponse{Stored: stored}}
 }
 
-func (s *Server) applyEvents(events []event.Instance, raw []byte) taskResult {
-	if err := s.jour.Append(encodeRecord(recEvents, "", raw)); err != nil {
-		return errResult(http.StatusInternalServerError, "journal: %v", err)
-	}
+func (s *Server) applyEvents(events []event.Instance) taskResult {
 	var resp IngestResponse
 	s.mu.RLock()
 	procs := s.procs
 	s.mu.RUnlock()
+	specs := appSpecs()
 	for i := range events {
 		stored := s.st.Add(events[i])
 		resp.Stored++
-		for _, a := range appSpecs() { // stable app order
+		for _, a := range specs { // stable app order
 			p, ok := procs[a.name]
 			if !ok {
 				continue
@@ -566,27 +686,15 @@ func (s *Server) applyEvents(events []event.Instance, raw []byte) taskResult {
 			}
 		}
 	}
-	if err := s.log.Commit(); err != nil {
-		return errResult(http.StatusInternalServerError, "wal: %v", err)
-	}
 	mEvents.Add(int64(resp.Stored))
 	return taskResult{status: http.StatusOK, resp: resp}
 }
 
 func (s *Server) applyFinalize() taskResult {
-	if s.isFinalized() {
-		return errResult(http.StatusConflict, "already finalized")
-	}
-	if err := s.jour.Append(encodeRecord(recFinalize, "", nil)); err != nil {
-		return errResult(http.StatusInternalServerError, "journal: %v", err)
-	}
 	if err := s.coll.Finalize(); err != nil {
 		return errResult(http.StatusInternalServerError, "finalize: %v", err)
 	}
 	cdn.MaterializeEgressChanges(s.coll, s.cfg.Bundle.CDN, s.coll.WindowStart, s.coll.WindowEnd)
-	if err := s.log.Commit(); err != nil {
-		return errResult(http.StatusInternalServerError, "wal: %v", err)
-	}
 	if err := s.installServing(false); err != nil {
 		return errResult(http.StatusInternalServerError, "%v", err)
 	}

@@ -4,12 +4,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"grca/internal/obs"
+	"grca/internal/wire"
 )
 
 // Per-endpoint latency and inflight-request metrics; 429s and queue
@@ -122,13 +125,43 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	var t task
+	// Content negotiation: the compact binary batch format rides the same
+	// endpoint under its own media type; everything else is the JSON
+	// IngestRequest.
+	if strings.HasPrefix(r.Header.Get("Content-Type"), wire.ContentType) {
+		body, err := readBody(w, r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		b, err := wire.Decode(body)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		switch b.Kind {
+		case wire.KindFeed:
+			if !knownSource(b.Source) {
+				writeErr(w, http.StatusBadRequest, "unknown source %q", b.Source)
+				return
+			}
+			t = task{kind: recFeed, source: b.Source, lines: []byte(b.Lines)}
+		case wire.KindEvents:
+			// The verbatim request bytes are the journal record: replay
+			// re-decodes them, so the store recovers byte-identically
+			// without a JSON round-trip.
+			t = task{kind: recEventsWire, events: b.Events, raw: body}
+		}
+		s.finishIngest(w, r, t)
+		return
+	}
 	var req IngestRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	if err := dec.Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	var t task
 	switch {
 	case req.Source != "" && len(req.Events) == 0:
 		if !knownSource(req.Source) {
@@ -152,6 +185,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "provide either source+lines or events")
 		return
 	}
+	s.finishIngest(w, r, t)
+}
+
+// readBody reads the bounded request body in one allocation when the
+// client sent a Content-Length (io.ReadAll's incremental growth copies a
+// large batch several times over).
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	rd := http.MaxBytesReader(w, r.Body, maxBody)
+	if n := r.ContentLength; n > 0 && n <= maxBody {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(rd, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	return io.ReadAll(rd)
+}
+
+func (s *Server) finishIngest(w http.ResponseWriter, r *http.Request, t task) {
 	res := s.enqueue(r.Context(), t)
 	if res.err != nil {
 		if res.status == http.StatusTooManyRequests {

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"grca/internal/event"
+	"grca/internal/wal"
+	"grca/internal/wire"
+)
+
+func postWire(t *testing.T, ts *httptest.Server, body []byte) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/ingest", wire.ContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestWireIngestParity is the fast path's defining contract: a server
+// fed the whole corpus through the binary wire format and the zero-copy
+// parsers must be byte-identical — store digest and diagnosis JSON — to
+// a server fed the same corpus as JSON through the reference string
+// parsers.
+func TestWireIngestParity(t *testing.T) {
+	_, b := testBundle(t)
+
+	refDir, fastDir := t.TempDir(), t.TempDir()
+	ref, err := Open(Config{DataDir: refDir, Bundle: b, LegacyParsers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTS := httptest.NewServer(ref.Handler())
+	defer refTS.Close()
+	fast := openServer(t, fastDir, b)
+	fastTS := httptest.NewServer(fast.Handler())
+	defer fastTS.Close()
+
+	// Reference: JSON feeds + legacy parsers. Fast: binary feed batches +
+	// zero-copy parsers.
+	loadAndFinalize(t, refTS, b)
+	for _, src := range feedOrder {
+		feed, ok := b.Feeds[src]
+		if !ok {
+			continue
+		}
+		code, body := postWire(t, fastTS, wire.AppendFeed(nil, src, feed))
+		if code != http.StatusOK {
+			t.Fatalf("wire ingest %s: %d %s", src, code, body)
+		}
+	}
+	if code, body := post(t, fastTS, "/v1/finalize", struct{}{}); code != http.StatusOK {
+		t.Fatalf("finalize: %d %s", code, body)
+	}
+
+	// Serving phase: the same normalized-event batch, JSON to one server
+	// and binary to the other.
+	at := b.Start.Add(b.Duration).Add(time.Hour)
+	evs := []EventJSON{
+		{Name: event.EBGPFlap, Start: at, End: at.Add(time.Minute),
+			Loc: LocationJSON{Type: "router:neighbor", A: "pop00-per1", B: "10.99.0.1"}},
+		{Name: "synthetic tick", Start: at.Add(48 * time.Hour), End: at.Add(48 * time.Hour),
+			Loc: LocationJSON{Type: "router", A: "pop00-per1"}},
+	}
+	ins, err := decodeEvents(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := post(t, refTS, "/v1/ingest", IngestRequest{Events: evs})
+	if code != http.StatusOK {
+		t.Fatalf("json event ingest: %d %s", code, body)
+	}
+	var refResp IngestResponse
+	if err := json.Unmarshal(body, &refResp); err != nil {
+		t.Fatal(err)
+	}
+	code, body = postWire(t, fastTS, wire.AppendEvents(nil, ins))
+	if code != http.StatusOK {
+		t.Fatalf("wire event ingest: %d %s", code, body)
+	}
+	var fastResp IngestResponse
+	if err := json.Unmarshal(body, &fastResp); err != nil {
+		t.Fatal(err)
+	}
+	if fastResp.Stored != refResp.Stored || fastResp.Late != refResp.Late ||
+		len(fastResp.Diagnoses) != len(refResp.Diagnoses) {
+		t.Fatalf("wire ingest response %+v, json reference %+v", fastResp, refResp)
+	}
+
+	if got, want := wal.StoreDigest(fast.Store()), wal.StoreDigest(ref.Store()); got != want {
+		t.Fatalf("wire+fast store digest differs from json+legacy (%d vs %d events)",
+			fast.Store().Len(), ref.Store().Len())
+	}
+	for _, app := range []string{"bgpflap", "cdn"} {
+		_, refBody := post(t, refTS, "/v1/diagnose", DiagnoseRequest{App: app, All: true})
+		_, fastBody := post(t, fastTS, "/v1/diagnose", DiagnoseRequest{App: app, All: true})
+		if !bytes.Equal(refBody, fastBody) {
+			t.Fatalf("%s: diagnosis bytes differ between wire+fast and json+legacy", app)
+		}
+	}
+
+	// Restart the wire-fed server: journal replay decodes the verbatim
+	// wire records (recFeed raw lines + recEventsWire), so the recovered
+	// digest must not move.
+	want := wal.StoreDigest(fast.Store())
+	fastTS.Close()
+	if err := fast.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fast2 := openServer(t, fastDir, b)
+	defer fast2.Shutdown(context.Background()) //nolint:errcheck // test teardown
+	if got := wal.StoreDigest(fast2.Store()); got != want {
+		t.Fatal("restart after wire ingest changed the store digest")
+	}
+	if !fast2.Recovery().Finalized {
+		t.Fatal("restart lost the finalize marker")
+	}
+}
+
+// TestWireIngestValidation: malformed wire bodies and unknown feed
+// sources are rejected with 400 before being journaled.
+func TestWireIngestValidation(t *testing.T) {
+	_, b := testBundle(t)
+	dir := t.TempDir()
+	s := openServer(t, dir, b)
+	ts := httptest.NewServer(s.Handler())
+
+	if code, _ := postWire(t, ts, []byte("not a wire batch")); code != http.StatusBadRequest {
+		t.Fatalf("garbage wire body: %d, want 400", code)
+	}
+	if code, _ := postWire(t, ts, wire.AppendFeed(nil, "nonsense", "x")); code != http.StatusBadRequest {
+		t.Fatalf("unknown wire source: %d, want 400", code)
+	}
+	truncated := wire.AppendEvents(nil, []event.Instance{})
+	if code, _ := postWire(t, ts, truncated[:len(truncated)-1]); code != http.StatusBadRequest {
+		t.Fatalf("truncated wire body: %d, want 400", code)
+	}
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// None of the rejections may have reached the journal.
+	s2 := openServer(t, dir, b)
+	defer s2.Shutdown(context.Background()) //nolint:errcheck // test teardown
+	if n := s2.Recovery().Batches; n != 0 {
+		t.Fatalf("rejected batches were journaled: recovered %d", n)
+	}
+}

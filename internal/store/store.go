@@ -493,6 +493,28 @@ func (s *Store) Dump() (base, next int, ins []event.Instance) {
 	return base, next, ins
 }
 
+// SnapshotTo streams the dumped state without copying it: header runs
+// once with the Dump bounds and live count, then each runs per live
+// instance in ID order, all under one read lock — so the header's count
+// and the instances visited are a single consistent cut even with
+// concurrent writers. The callbacks must not retain or mutate the
+// instances, and must not call back into the store.
+func (s *Store) SnapshotTo(header func(base, next, count int) error, each func(*event.Instance) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if err := header(s.base, s.base+len(s.byID), s.live); err != nil {
+		return err
+	}
+	for _, in := range s.byID {
+		if in != nil {
+			if err := each(in); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
 // Restore rebuilds a dumped state into an empty store: each instance is
 // placed at its recorded ID, interior gaps stay tombstoned, and the next
 // insert receives ID next. It is the snapshot-recovery path; restoring

@@ -1,0 +1,291 @@
+package wal
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"grca/internal/event"
+)
+
+// TestGroupCommitCoalesces: concurrent committers under a group window
+// must all come back durable while sharing fsyncs. The fsync count is
+// scheduler-dependent, so the assertion is the coalescing invariant
+// (fewer fsyncs than commits would need alone) plus full durability.
+func TestGroupCommitCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	l, st, _, err := Open(dir, Options{GroupWindow: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers = 32
+	ins := genEvents(23, writers)
+	fsyncsBefore := mFsyncs.Value()
+
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			st.Add(ins[w])
+			if err := l.Commit(); err != nil {
+				t.Errorf("writer %d: %v", w, err)
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	fsyncs := mFsyncs.Value() - fsyncsBefore
+	if fsyncs >= writers {
+		t.Errorf("%d commits took %d fsyncs: no coalescing happened", writers, fsyncs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, st2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Replayed != writers {
+		t.Fatalf("replayed %d, want %d", rec.Replayed, writers)
+	}
+	if StoreDigest(st2) != StoreDigest(st) {
+		t.Fatal("group-committed store did not recover byte-identically")
+	}
+}
+
+// segTotalSize sums the on-disk segment bytes — what a crash at this
+// instant could at most preserve, and (because Commit returns only
+// after its fsync) at least preserve for the records acknowledged so
+// far by this caller.
+func segTotalSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	segs, _, err := listNumbered(walDir(dir), "seg-", ".log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, p := range segs {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += fi.Size()
+	}
+	return total
+}
+
+// TestGroupCommitCrashProperty is the crash-point property test for the
+// coalesced-fsync window: concurrent writers append batches and group-
+// commit them; the log is then cut at a random byte offset — including
+// offsets inside the window where a leader's fsync had not yet covered
+// later appends — and recovery must yield exactly an ID-prefix of the
+// appended records (never torn, never reordered), containing every
+// batch that was acknowledged while the log was still at least cut
+// bytes long. Acknowledged = durable.
+func TestGroupCommitCrashProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 6; trial++ {
+		dir := t.TempDir()
+		l, st, _, err := Open(dir, Options{GroupWindow: 300 * time.Microsecond, SegmentBytes: 8 << 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const writers, batches, perBatch = 6, 4, 5
+		pool := genEvents(int64(100+trial), writers*batches*perBatch)
+		byID := make([]event.Instance, len(pool)) // instances in store-ID order
+		type ack struct {
+			ids  []int
+			size int64 // on-disk bytes when the ack came back
+		}
+		var (
+			mu    sync.Mutex
+			acked []ack
+			wg    sync.WaitGroup
+		)
+		start := make(chan struct{})
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				for b := 0; b < batches; b++ {
+					ids := make([]int, 0, perBatch)
+					for j := 0; j < perBatch; j++ {
+						in := pool[(w*batches+b)*perBatch+j]
+						stored := st.Add(in)
+						mu.Lock()
+						byID[stored.ID] = in
+						mu.Unlock()
+						ids = append(ids, stored.ID)
+					}
+					if err := l.Commit(); err != nil {
+						t.Errorf("writer %d: %v", w, err)
+						return
+					}
+					size := segTotalSize(t, dir)
+					mu.Lock()
+					acked = append(acked, ack{ids, size})
+					mu.Unlock()
+				}
+			}(w)
+		}
+		close(start)
+		wg.Wait()
+		if t.Failed() {
+			t.Fatal("a writer's commit failed")
+		}
+		// Crash (no Close): cut the log at a random byte offset and drop
+		// everything beyond, as kill -9 drops unsynced page cache.
+		total := segTotalSize(t, dir)
+		cut := int(rng.Int63n(total + 1))
+		if trial == 0 {
+			cut = int(total)
+		}
+		crashAt(t, dir, cut)
+
+		_, st2, _, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("trial %d (cut %d/%d): recovery failed: %v", trial, cut, total, err)
+		}
+		k := st2.Len()
+		if got, want := StoreDigest(st2), digestOfPrefix(byID, k); got != want {
+			t.Fatalf("trial %d: cut %d: recovered store is not the ID-prefix of length %d", trial, cut, k)
+		}
+		for _, a := range acked {
+			if a.size > int64(cut) {
+				continue // the crash predates this ack's durable point
+			}
+			for _, id := range a.ids {
+				if id >= k {
+					t.Fatalf("trial %d: cut %d ≥ acked size %d, but acknowledged record %d was lost (prefix %d)",
+						trial, cut, a.size, id, k)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelReplayDeterminism: recovery with 1, 2, and 8 decode
+// workers must produce byte-identical stores and identical recovery
+// reports, over a log that mixes a snapshot with a multi-segment tail.
+func TestParallelReplayDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	ins := genEvents(41, 1200)
+	l, st, _, err := Open(dir, Options{SegmentBytes: 8 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddAll(ins[:700])
+	if err := l.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	st.AddAll(ins[700:])
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := StoreDigest(st)
+	var rec0 Recovery
+	for i, workers := range []int{1, 2, 8} {
+		l2, st2, rec, err := Open(dir, Options{ReplayWorkers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if got := StoreDigest(st2); got != want {
+			t.Fatalf("workers=%d: recovered digest differs from the original", workers)
+		}
+		if i == 0 {
+			rec0 = rec
+		} else if rec != rec0 {
+			t.Fatalf("workers=%d: recovery report %+v differs from single-worker %+v", workers, rec, rec0)
+		}
+		if err := l2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestParallelReplayCorruptRecordDeterministicError: a corrupted record
+// body (intact frame, gibberish payload) must produce the same fatal
+// error for every worker count.
+func TestParallelReplayCorruptRecordDeterministicError(t *testing.T) {
+	dir := t.TempDir()
+	ins := genEvents(43, 50)
+	l, st, _, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.AddAll(ins)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _, err := listNumbered(walDir(dir), "seg-", ".log")
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v (%d)", err, len(segs))
+	}
+	// Replace record 7's payload with garbage of the same length and fix
+	// up its CRC so the framing stays valid.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for i := 0; i < 7; i++ {
+		off += encodedSize(&ins[i])
+	}
+	n := encodedSize(&ins[7]) - frameHeader
+	garbage := make([]byte, n)
+	for i := range garbage {
+		garbage[i] = 0xff
+	}
+	patched := append(append(append([]byte{}, data[:off]...), appendFrame(nil, garbage)...), data[off+frameHeader+n:]...)
+	if err := os.WriteFile(segs[0], patched, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, workers := range []int{1, 8} {
+		_, _, _, err := Open(dir, Options{ReplayWorkers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: corrupt record recovered without error", workers)
+		}
+		msgs = append(msgs, err.Error())
+	}
+	if msgs[0] != msgs[1] {
+		t.Fatalf("error differs by worker count:\n1: %s\n8: %s", msgs[0], msgs[1])
+	}
+}
+
+// BenchmarkOpenReplay measures recovery (the restart path) over a
+// 20k-record segment tail; the serve-level 10× restart figure lives in
+// BENCH_SERVE.json.
+func BenchmarkOpenReplay(b *testing.B) {
+	dir := b.TempDir()
+	ins := genEvents(51, 20000)
+	l, st, _, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.AddAll(ins)
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l2, st2, _, err := Open(dir, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st2.Len() != len(ins) {
+			b.Fatalf("recovered %d, want %d", st2.Len(), len(ins))
+		}
+		l2.Close()
+	}
+}

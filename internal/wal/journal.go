@@ -62,12 +62,24 @@ func OpenJournal(path string) (*Journal, error) {
 // Append frames, writes, and fsyncs one record. This is the serving
 // pipeline's batch commit point.
 func (j *Journal) Append(payload []byte) error {
-	j.buf = appendFrame(j.buf[:0], payload)
-	if _, err := j.f.Write(j.buf); err != nil {
+	if err := j.AppendNoSync(payload); err != nil {
 		return err
 	}
-	return j.f.Sync()
+	return j.Sync()
 }
+
+// AppendNoSync frames and writes one record without forcing it to disk.
+// Pair with Sync to commit a group of records under one fsync: none of
+// the group is acknowledged until the Sync returns, so the durability
+// contract is per-group instead of per-record.
+func (j *Journal) AppendNoSync(payload []byte) error {
+	j.buf = appendFrame(j.buf[:0], payload)
+	_, err := j.f.Write(j.buf)
+	return err
+}
+
+// Sync forces everything written so far to stable storage.
+func (j *Journal) Sync() error { return fileSync(j.f) }
 
 // Close closes the journal file.
 func (j *Journal) Close() error { return j.f.Close() }

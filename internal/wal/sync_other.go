@@ -1,0 +1,9 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// fileSync forces f's data to stable storage; the portable fallback is
+// a full fsync.
+func fileSync(f *os.File) error { return f.Sync() }

@@ -51,6 +51,7 @@ import (
 var (
 	mAppends      = obs.GetCounter("wal.appends")
 	mCommits      = obs.GetCounter("wal.commits")
+	mCoalesced    = obs.GetCounter("wal.commits.coalesced")
 	mFsyncs       = obs.GetCounter("wal.fsyncs")
 	mSnapshots    = obs.GetCounter("wal.snapshots")
 	mCompacted    = obs.GetCounter("wal.segments.compacted")
@@ -102,6 +103,18 @@ type Options struct {
 	// exactly as the original run did — recovering with a different
 	// retention than the log was written under yields a different store.
 	Retention time.Duration
+	// GroupWindow, when positive under FsyncBatch, enables group commit:
+	// the first Commit of a burst becomes the leader, waits up to this
+	// long for concurrent committers' records to land in the pending
+	// buffer, then flushes and fsyncs once for the whole group. Commits
+	// whose records were covered by another leader's sync return without
+	// touching the disk at all. Zero keeps one fsync per Commit.
+	GroupWindow time.Duration
+	// ReplayWorkers is the number of goroutines decoding records during
+	// recovery (segments and snapshot alike). The frame scan and the
+	// store applies stay sequential, so the recovered store is
+	// byte-identical for every worker count. Zero means GOMAXPROCS.
+	ReplayWorkers int
 }
 
 func (o *Options) defaults() {
@@ -152,6 +165,13 @@ type Log struct {
 	closed     bool
 	err        error // first write/sync failure; sticky
 
+	// Group commit: records with ID < syncedSeq are on stable storage;
+	// syncing marks a leader inside its window or fsync, and syncCond
+	// (on mu) wakes the followers riding that sync.
+	syncedSeq int
+	syncing   bool
+	syncCond  *sync.Cond
+
 	snapMu sync.Mutex // serializes Snapshot end to end
 
 	stop chan struct{}
@@ -169,6 +189,7 @@ func Open(dir string, opts Options) (*Log, *store.Store, Recovery, error) {
 		}
 	}
 	l := &Log{dir: dir, opts: opts, st: store.New()}
+	l.syncCond = sync.NewCond(&l.mu)
 	if opts.Retention > 0 {
 		l.st.SetRetention(opts.Retention)
 	}
@@ -176,6 +197,7 @@ func Open(dir string, opts Options) (*Log, *store.Store, Recovery, error) {
 	if err != nil {
 		return nil, nil, rec, err
 	}
+	l.syncedSeq = l.nextSeq // everything recovered is already on disk
 	l.st.OnAppend(l.record)
 	if opts.Fsync == FsyncInterval {
 		l.stop = make(chan struct{})
@@ -218,9 +240,16 @@ func (l *Log) record(in *event.Instance) {
 // FsyncBatch, forces them to disk. It also rotates segments past the size
 // threshold and triggers an auto-snapshot when SnapshotEvery is due.
 // An acknowledged Commit under FsyncBatch means the records survive
-// kill -9.
+// kill -9. With Options.GroupWindow set, concurrent Commits coalesce
+// into one fsync; the durability contract is unchanged.
 func (l *Log) Commit() error {
-	if err := l.flush(l.opts.Fsync == FsyncBatch); err != nil {
+	var err error
+	if l.opts.Fsync == FsyncBatch && l.opts.GroupWindow > 0 {
+		err = l.groupCommit()
+	} else {
+		err = l.flush(l.opts.Fsync == FsyncBatch)
+	}
+	if err != nil {
 		return err
 	}
 	l.mu.Lock()
@@ -234,6 +263,82 @@ func (l *Log) Commit() error {
 
 // Sync flushes and fsyncs regardless of policy.
 func (l *Log) Sync() error { return l.flush(true) }
+
+// groupCommit is Commit under Options.GroupWindow: the caller's records
+// must be durable on return, but the fsync making them so may be issued
+// by any committer. The first arrival becomes the leader; it releases
+// the lock for the window so stragglers can append, then flushes and
+// syncs everything pending. Arrivals during an in-flight sync wait on
+// the condition and usually find their records already covered. The
+// unlocked window lives between two lock-scoped helpers so every
+// critical section is a plain lock/defer pair.
+func (l *Log) groupCommit() error {
+	began := obs.Now()
+	target, lead, err := l.groupEnter()
+	if err != nil || !lead {
+		return err
+	}
+	time.Sleep(l.opts.GroupWindow) // bounded wait for the group to form
+	return l.groupFinish(target, began)
+}
+
+// groupEnter waits out any in-flight sync and decides this committer's
+// role: done (covered by a previous sync or a sticky error) or leader
+// (syncing is set and the caller owns the window).
+func (l *Log) groupEnter() (target int, lead bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	target = l.nextSeq // records this committer needs durable
+	for l.syncing {
+		if l.err != nil || l.syncedSeq >= target {
+			break
+		}
+		l.syncCond.Wait()
+	}
+	if l.err != nil {
+		return 0, false, l.err
+	}
+	if l.syncedSeq >= target {
+		mCoalesced.Inc()
+		return 0, false, nil
+	}
+	if l.closed {
+		return 0, false, fmt.Errorf("wal: log closed")
+	}
+	l.syncing = true
+	return target, true, nil
+}
+
+// groupFinish is the leader's second half: flush and fsync whatever the
+// window gathered, then wake the followers riding this sync.
+func (l *Log) groupFinish(target int, began time.Time) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var err error
+	switch {
+	case l.err != nil:
+		err = l.err
+	case l.syncedSeq >= target && len(l.buf) == 0:
+		// Close (or a snapshot's Sync) flushed everything while the
+		// window was open; nothing left to do.
+	case l.closed:
+		err = fmt.Errorf("wal: log closed")
+	case len(l.buf) > 0:
+		err = l.flushLocked(true, began)
+	default:
+		// Pending buffer drained by a non-syncing path; force the sync
+		// the caller was promised.
+		if err = fileSync(l.seg); err != nil {
+			l.err = err
+		} else {
+			mFsyncs.Inc()
+			l.syncedSeq = l.nextSeq
+		}
+	}
+	l.syncing = false
+	l.syncCond.Broadcast()
+	return err
+}
 
 func (l *Log) flush(sync bool) error {
 	began := obs.Now()
@@ -286,11 +391,12 @@ func (l *Log) flushLocked(sync bool, began time.Time) error {
 		off, written = chunk, end
 	}
 	if sync {
-		if err := l.seg.Sync(); err != nil {
+		if err := fileSync(l.seg); err != nil {
 			l.err = err
 			return err
 		}
 		mFsyncs.Inc()
+		l.syncedSeq = l.nextSeq
 	}
 	l.sinceSnap += l.bufRecords
 	l.buf = l.buf[:0]
@@ -306,7 +412,7 @@ func (l *Log) flushLocked(sync bool, began time.Time) error {
 // one named for the ID of the next record it will hold.
 func (l *Log) rotateAtLocked(first int) error {
 	if l.seg != nil {
-		if err := l.seg.Sync(); err != nil {
+		if err := fileSync(l.seg); err != nil {
 			return err
 		}
 		if err := l.seg.Close(); err != nil {
@@ -450,6 +556,15 @@ func (l *Log) recover() (Recovery, error) {
 		if err != nil {
 			return rec, err
 		}
+		// Replay in three stages: a sequential frame scan (CRC checks,
+		// torn-tail detection), parallel record decoding, and sequential
+		// in-order store applies — so the recovered store is byte-identical
+		// for any worker count.
+		type pendRec struct {
+			seq     int
+			payload []byte
+		}
+		var pend []pendRec
 		off := int64(0)
 		rest := data
 		for len(rest) > 0 {
@@ -464,22 +579,33 @@ func (l *Log) recover() (Recovery, error) {
 				break
 			}
 			if seq >= expected {
-				in, err := decodeInstance(payload)
-				if err != nil {
-					// Framing intact but the payload is gibberish — not a
-					// torn write, refuse to guess.
-					return rec, fmt.Errorf("wal: %s record %d: %v", path, seq, err)
-				}
-				stored := l.st.Add(in)
-				if stored.ID != seq {
-					return rec, fmt.Errorf("wal: %s replayed record %d got store ID %d", path, seq, stored.ID)
-				}
-				rec.Replayed++
-				expected = seq + 1
+				pend = append(pend, pendRec{seq, payload})
 			}
 			seq++
 			off += int64(frameHeader + len(payload))
 			rest = r2
+		}
+		ins := make([]event.Instance, len(pend))
+		err = parallelIndexed(len(pend), l.opts.replayWorkers(), func(i int) error {
+			in, err := decodeInstance(pend[i].payload)
+			if err != nil {
+				// Framing intact but the payload is gibberish — not a
+				// torn write, refuse to guess.
+				return fmt.Errorf("wal: %s record %d: %v", path, pend[i].seq, err)
+			}
+			ins[i] = in
+			return nil
+		})
+		if err != nil {
+			return rec, err
+		}
+		for i := range ins {
+			stored := l.st.Add(ins[i])
+			if stored.ID != pend[i].seq {
+				return rec, fmt.Errorf("wal: %s replayed record %d got store ID %d", path, pend[i].seq, stored.ID)
+			}
+			rec.Replayed++
+			expected = pend[i].seq + 1
 		}
 		lastEnd = seq
 	}

@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"grca/internal/event"
+	"grca/internal/locus"
+)
+
+// FuzzDecode feeds arbitrary bytes to Decode, which must never panic and
+// never over-read: whatever it returns on success must re-encode and
+// re-decode to the same value (a decoded batch is always a valid one).
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("GRCW"))
+	f.Add([]byte{'G', 'R', 'C', 'W', 1, 1, 0x80})
+	f.Add(AppendEvents(nil, goldenEvents()))
+	f.Add(AppendFeed(nil, "syslog", "Jan  2 03:04:05 r1 %SYS-5-RESTART: x\n"))
+	// A count far larger than the payload: must fail without allocating
+	// for the declared size.
+	f.Add([]byte{'G', 'R', 'C', 'W', 1, 1, 0xff, 0xff, 0x3f})
+	long := event.Instance{
+		Name:  "long",
+		Start: time.Unix(0, 1).UTC(), End: time.Unix(1<<40, 999999999).UTC(),
+		Loc:   locus.Between(locus.SourceDestination, "a", "b"),
+		Attrs: map[string]string{"k": string(make([]byte, 300))},
+	}
+	f.Add(AppendEvents(nil, []event.Instance{long, long}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Successful decodes must round-trip: re-encode and compare the
+		// decoded forms (the byte encodings may differ only if the input
+		// used unsorted attrs, so compare semantically).
+		var enc []byte
+		switch b.Kind {
+		case KindEvents:
+			enc = AppendEvents(nil, b.Events)
+		case KindFeed:
+			enc = AppendFeed(nil, b.Source, b.Lines)
+		default:
+			t.Fatalf("Decode returned unknown kind %d without error", b.Kind)
+		}
+		b2, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded batch failed: %v", err)
+		}
+		if b2.Kind != b.Kind || len(b2.Events) != len(b.Events) ||
+			b2.Source != b.Source || b2.Lines != b.Lines {
+			t.Fatalf("re-decode mismatch: %+v vs %+v", b, b2)
+		}
+	})
+}
