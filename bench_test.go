@@ -145,7 +145,7 @@ func printTableOnce(key, title string, ds []engine.Diagnosis, display func(strin
 // runBreakdown is the shared body of the three table benchmarks: the
 // measured operation is a full DiagnoseAll over the corpus.
 func runBreakdown(b *testing.B, c *corpus,
-	newEngine func(*store.Store, *netstate.View) (*engine.Engine, error),
+	newEngine func(store.Store, *netstate.View) (*engine.Engine, error),
 	study, title string, display func(string) string, tolerance time.Duration) {
 	eng, err := newEngine(c.sys.Store, c.sys.View)
 	if err != nil {
@@ -400,11 +400,11 @@ func BenchmarkFig8_BayesLineCard(b *testing.B) {
 
 // benchLatency measures single-event diagnosis latency over a corpus'
 // symptoms, round-robin.
-func benchLatency(b *testing.B, c *corpus, newEngine func(*store.Store, *netstate.View) (*engine.Engine, error)) {
+func benchLatency(b *testing.B, c *corpus, newEngine func(store.Store, *netstate.View) (*engine.Engine, error)) {
 	benchLatencyTracing(b, c, newEngine, false)
 }
 
-func benchLatencyTracing(b *testing.B, c *corpus, newEngine func(*store.Store, *netstate.View) (*engine.Engine, error), tracing bool) {
+func benchLatencyTracing(b *testing.B, c *corpus, newEngine func(store.Store, *netstate.View) (*engine.Engine, error), tracing bool) {
 	eng, err := newEngine(c.sys.Store, c.sys.View)
 	if err != nil {
 		b.Fatal(err)

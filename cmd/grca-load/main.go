@@ -103,23 +103,34 @@ func run(addr, bundleDir string, events, batchSize, workers int, out, probe stri
 	// Stream phase: each worker owns a disjoint interface namespace so the
 	// generated up events never interleave on one location, and stamps
 	// strictly increasing times so the realtime clock only moves forward.
+	// Each worker keeps its own latency samples and 429 count — merged
+	// into the request-latency percentiles and the per-worker rejection
+	// breakdown of the report (a skewed breakdown means one worker was
+	// starved, not the whole pipeline).
+	type workerStats struct {
+		lat      []float64 // ms per accepted ingest request
+		rejected int64
+	}
 	batches := make(chan []byte, workers)
-	var sent, rejected int64
+	var sent int64
+	stats := make([]workerStats, workers)
 	var wg sync.WaitGroup
 	began := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			st := &stats[w]
 			for body := range batches {
 				for {
+					reqBegan := time.Now()
 					code, err := postCode(addr+"/v1/ingest", contentType, body)
 					if err != nil {
 						fmt.Fprintf(os.Stderr, "grca-load: %v\n", err)
 						return
 					}
 					if code == http.StatusTooManyRequests {
-						atomic.AddInt64(&rejected, 1)
+						st.rejected++
 						time.Sleep(50 * time.Millisecond)
 						continue
 					}
@@ -127,10 +138,11 @@ func run(addr, bundleDir string, events, batchSize, workers int, out, probe stri
 						fmt.Fprintf(os.Stderr, "grca-load: ingest status %d\n", code)
 						return
 					}
+					st.lat = append(st.lat, float64(time.Since(reqBegan).Microseconds())/1000)
 					break
 				}
 			}
-		}()
+		}(w)
 	}
 	type jsonEvent struct {
 		Name  string    `json:"name"`
@@ -195,15 +207,36 @@ func run(addr, bundleDir string, events, batchSize, workers int, out, probe stri
 	if binary {
 		mode = "binary"
 	}
-	report := map[string]any{
-		"events":         atomic.LoadInt64(&sent),
-		"batch_size":     batchSize,
-		"workers":        workers,
-		"wire":           mode,
-		"seconds":        elapsed.Seconds(),
-		"events_per_sec": float64(atomic.LoadInt64(&sent)) / elapsed.Seconds(),
-		"retries_429":    atomic.LoadInt64(&rejected),
+	var allLat []float64
+	rejectedPer := make([]int64, workers)
+	var rejected int64
+	for w := range stats {
+		allLat = append(allLat, stats[w].lat...)
+		rejectedPer[w] = stats[w].rejected
+		rejected += stats[w].rejected
 	}
+	sort.Float64s(allLat)
+	pct := func(q float64) float64 {
+		if len(allLat) == 0 {
+			return 0
+		}
+		return allLat[int(q*float64(len(allLat)-1))]
+	}
+	report := map[string]any{
+		"events":              atomic.LoadInt64(&sent),
+		"batch_size":          batchSize,
+		"workers":             workers,
+		"wire":                mode,
+		"seconds":             elapsed.Seconds(),
+		"events_per_sec":      float64(atomic.LoadInt64(&sent)) / elapsed.Seconds(),
+		"retries_429":         rejected,
+		"rejected_per_worker": rejectedPer,
+		"ingest_p50_ms":       pct(0.50),
+		"ingest_p95_ms":       pct(0.95),
+		"ingest_p99_ms":       pct(0.99),
+	}
+	fmt.Fprintf(os.Stderr, "grca-load: ingest latency p50=%.2fms p95=%.2fms p99=%.2fms over %d requests\n",
+		pct(0.50), pct(0.95), pct(0.99), len(allLat))
 	if probe != "" {
 		p50, p99, err := probeLatency(addr+probe, probes)
 		if err != nil {

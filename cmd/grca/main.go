@@ -100,7 +100,7 @@ func usage() {
 type app struct {
 	study   string
 	display func(string) string
-	engine  func(*store.Store, *netstate.View) (*engine.Engine, error)
+	engine  func(store.Store, *netstate.View) (*engine.Engine, error)
 	title   string
 }
 
@@ -228,7 +228,7 @@ func printSlowest(ds []engine.Diagnosis, n int) {
 	}
 }
 
-func printTrend(st *store.Store, name string, from, to time.Time, bin time.Duration) {
+func printTrend(st store.Store, name string, from, to time.Time, bin time.Duration) {
 	fmt.Printf("\nTrend of %q per %v:\n", name, bin)
 	for _, p := range browser.Trend(st, name, from, to, bin) {
 		fmt.Printf("  %s  %4d  %s\n", p.Start.Format("2006-01-02 15:04"), p.Count, bar(p.Count))

@@ -28,7 +28,8 @@ func runServe(args []string) error {
 	fsyncEvery := fs.Duration("fsync-interval", 200*time.Millisecond, "background sync period with -fsync=interval")
 	snapshotEvery := fs.Int("snapshot-every", 50000, "snapshot the store every N WAL records (0 = only on shutdown/eviction)")
 	retention := fs.Duration("retention", 0, "evict events older than this behind the stream head (0 = keep everything)")
-	maxInflight := fs.Int("max-inflight", 64, "ingest queue depth; beyond it clients get 429")
+	shards := fs.Int("shards", 1, "store/WAL shard count: independent commit lanes the ingest path parallelizes across (fixed at data-dir creation)")
+	maxInflight := fs.Int("max-inflight", 64, "per-shard ingest queue depth; beyond it clients get 429")
 	timeout := fs.Duration("request-timeout", 60*time.Second, "per-request applier wait bound")
 	legacyParsers := fs.Bool("legacy-parsers", false, "use the reference string parsers instead of the zero-copy fast path (parity-tested escape hatch)")
 	replayWorkers := fs.Int("replay-workers", 0, "WAL recovery decode parallelism (0 = GOMAXPROCS)")
@@ -65,6 +66,7 @@ func runServe(args []string) error {
 		FsyncInterval:  *fsyncEvery,
 		SnapshotEvery:  *snapshotEvery,
 		Retention:      *retention,
+		Shards:         *shards,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
 		LegacyParsers:  *legacyParsers,
@@ -91,7 +93,7 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "serve: listening on %s (data under %s, fsync=%s)\n", bound, *dataDir, policy)
+	fmt.Fprintf(os.Stderr, "serve: listening on %s (data under %s, shards=%d, fsync=%s)\n", bound, *dataDir, rec.Shards, policy)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

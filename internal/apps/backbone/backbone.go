@@ -57,7 +57,7 @@ func Build() (*event.Library, *dgraph.Graph, error) {
 }
 
 // NewEngine builds the application's RCA engine over collected data.
-func NewEngine(st *store.Store, view *netstate.View) (*engine.Engine, error) {
+func NewEngine(st store.Store, view *netstate.View) (*engine.Engine, error) {
 	_, g, err := Build()
 	if err != nil {
 		return nil, err

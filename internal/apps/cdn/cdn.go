@@ -174,7 +174,7 @@ func BuildThroughput() (*event.Library, *dgraph.Graph, error) {
 }
 
 // NewThroughputEngine builds the throughput-drop RCA engine.
-func NewThroughputEngine(st *store.Store, view *netstate.View) (*engine.Engine, error) {
+func NewThroughputEngine(st store.Store, view *netstate.View) (*engine.Engine, error) {
 	_, g, err := BuildThroughput()
 	if err != nil {
 		return nil, err
@@ -221,7 +221,7 @@ func MaterializeEgressChanges(c *collector.Collector, dep Deployment, from, to t
 }
 
 // NewEngine builds the application's RCA engine over collected data.
-func NewEngine(st *store.Store, view *netstate.View) (*engine.Engine, error) {
+func NewEngine(st store.Store, view *netstate.View) (*engine.Engine, error) {
 	_, g, err := Build()
 	if err != nil {
 		return nil, err

@@ -149,7 +149,7 @@ func BinOf(from, t time.Time, bin time.Duration) int {
 
 // Trend counts event instances of name per bin over [from, to) — the
 // trending view operators use to watch failure modes over time.
-func Trend(st *store.Store, name string, from, to time.Time, bin time.Duration) []TrendPoint {
+func Trend(st store.Store, name string, from, to time.Time, bin time.Duration) []TrendPoint {
 	points := NewSeries(from, to, bin)
 	if points == nil || !to.After(from) {
 		return nil
@@ -185,7 +185,7 @@ func TrendDiagnoses(ds []engine.Diagnosis, label string, from time.Time, bin tim
 // level — the Result Browser's manual exploration view ("additional
 // information such as syslog messages and workflow logs that appear on the
 // same router or location as the event being analyzed", §IV-B).
-func DrillDown(st *store.Store, view *netstate.View, sym *event.Instance, window time.Duration, level locus.Type) ([]*event.Instance, error) {
+func DrillDown(st store.Store, view *netstate.View, sym *event.Instance, window time.Duration, level locus.Type) ([]*event.Instance, error) {
 	symLocs, err := view.Expand(sym.Loc, level, sym.Start)
 	if err != nil {
 		return nil, err
@@ -231,7 +231,7 @@ type MiningResult struct {
 // Miner runs the correlation tester between a set of symptom instances and
 // candidate diagnostic series drawn from the store.
 type Miner struct {
-	Store *store.Store
+	Store store.Store
 	// Bin is the series bin width (default 1 minute).
 	Bin time.Duration
 	// Smooth dilates both series by this many bins to absorb causal lag

@@ -39,7 +39,7 @@ type ReportOptions struct {
 // drill-downs into the top unexplained events — the §II's "processing and
 // extracting actionable information from a large number of service
 // impacting events in the aggregate", on paper.
-func WriteReport(w io.Writer, st *store.Store, ds []engine.Diagnosis, opts ReportOptions) error {
+func WriteReport(w io.Writer, st store.Store, ds []engine.Diagnosis, opts ReportOptions) error {
 	if len(ds) == 0 {
 		_, err := fmt.Fprintln(w, "no symptoms to report")
 		return err

@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"grca/internal/store"
@@ -13,7 +14,7 @@ import (
 type CrashResult struct {
 	// Store is the WAL-recovered store after the final restart; diagnoses
 	// are scored against it.
-	Store *store.Store
+	Store store.Store
 	// Crashes is how many kill -9 restarts were simulated.
 	Crashes int
 	// Redelivered counts events that were lost with an abandoned commit
@@ -33,7 +34,7 @@ type CrashResult struct {
 // re-delivers from the recovered high-water mark. After the final clean
 // shutdown the store is recovered once more and compared byte-for-byte
 // against the original.
-func (inj *Injector) CrashReplay(clean *store.Store) (CrashResult, error) {
+func (inj *Injector) CrashReplay(clean store.Store) (CrashResult, error) {
 	dir, err := os.MkdirTemp("", "grca-chaos-crash-")
 	if err != nil {
 		return CrashResult{}, err
@@ -116,4 +117,124 @@ func (inj *Injector) CrashReplay(clean *store.Store) (CrashResult, error) {
 func lastCommitted(resume, cut, batch int) int64 {
 	full := (cut - resume) / batch
 	return int64(resume + full*batch)
+}
+
+// CrashReplaySharded is CrashReplay for the sharded write path: the
+// corpus is delivered through an N-shard store where every shard owns
+// its own WAL, a kill -9 abandons all shard logs at once, and each
+// shard survives only to its own commit horizon — so recovery faces
+// interleaved loss, with different shards torn at different points of
+// the global ID sequence. Each session re-delivers exactly the events
+// missing from the merged store, with their original IDs (the sparse
+// per-shard Put path), and the final recovery must merge back
+// byte-identical to the unperturbed store.
+func (inj *Injector) CrashReplaySharded(clean store.Store, shards int) (CrashResult, error) {
+	dir, err := os.MkdirTemp("", "grca-chaos-crash-sharded-")
+	if err != nil {
+		return CrashResult{}, err
+	}
+	defer os.RemoveAll(dir) //nolint:errcheck // best-effort temp cleanup
+
+	_, _, ins := clean.Dump()
+	n := len(ins)
+	opts := wal.Options{SnapshotEvery: 4 * inj.cfg.CrashBatch}
+	route := store.HashRoute(shards)
+
+	// Same crash-point derivation as CrashReplay: the same seed crashes
+	// at the same events in both topologies.
+	rng := inj.rng("crash")
+	pts := map[int]bool{}
+	for len(pts) < inj.cfg.CrashCount && len(pts) < n-1 {
+		pts[1+rng.Intn(n-1)] = true
+	}
+	cuts := make([]int, 0, len(pts))
+	for p := range pts {
+		cuts = append(cuts, p)
+	}
+	sort.Ints(cuts)
+
+	open := func() ([]*wal.Log, *store.Sharded, error) {
+		logs := make([]*wal.Log, shards)
+		mems := make([]*store.Memory, shards)
+		for i := range logs {
+			l, st, _, err := wal.Open(filepath.Join(dir, fmt.Sprintf("shard-%d", i)), opts)
+			if err != nil {
+				return nil, nil, fmt.Errorf("chaos: sharded crash recovery: %v", err)
+			}
+			logs[i], mems[i] = l, st
+		}
+		return logs, store.NewShardedOf(mems, route), nil
+	}
+
+	res := CrashResult{}
+	prevCut := 0
+	deliver := func(cut int, crash bool) error {
+		logs, st, err := open()
+		if err != nil {
+			return err
+		}
+		commitAll := func() error {
+			for _, l := range logs {
+				if err := l.Commit(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		delivered := 0
+		for i := 0; i < cut; i++ {
+			// Redeliver exactly what the merged store is missing — some
+			// shards committed past this point, others lost it.
+			if _, ok := st.Get(ins[i].ID); ok {
+				continue
+			}
+			if i < prevCut {
+				res.Redelivered++
+			}
+			if _, err := st.Shard(st.ShardFor(ins[i].Loc)).Put(ins[i]); err != nil {
+				return err
+			}
+			if delivered++; delivered%inj.cfg.CrashBatch == 0 {
+				if err := commitAll(); err != nil {
+					return err
+				}
+			}
+		}
+		if crash {
+			// kill -9: walk away from every shard's log at once.
+			res.Crashes++
+			prevCut = cut
+			return nil
+		}
+		if err := commitAll(); err != nil {
+			return err
+		}
+		for _, l := range logs {
+			if err := l.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, cut := range cuts {
+		if err := deliver(cut, true); err != nil {
+			return res, err
+		}
+	}
+	if err := deliver(n, false); err != nil {
+		return res, err
+	}
+
+	logs, st, err := open()
+	if err != nil {
+		return res, err
+	}
+	for _, l := range logs {
+		if err := l.Close(); err != nil {
+			return res, err
+		}
+	}
+	res.Store = st
+	res.DigestMatch = wal.StoreDigest(st) == wal.StoreDigest(clean)
+	return res, nil
 }

@@ -25,7 +25,7 @@ import (
 type AppSpec struct {
 	Name      string
 	Study     string // ground-truth study key in simnet.Truth
-	NewEngine func(*store.Store, *netstate.View) (*engine.Engine, error)
+	NewEngine func(store.Store, *netstate.View) (*engine.Engine, error)
 	Build     func() (*event.Library, *dgraph.Graph, error)
 }
 

@@ -27,7 +27,7 @@ type ReplayResult struct {
 // the delayed-feed fault class (FaultDelay). maxPending bounds the
 // processor's pending queue (0 = unbounded). The delivery schedule is a
 // pure function of the injector seed and the instance set.
-func (inj *Injector) Replay(view *netstate.View, g *dgraph.Graph, st *store.Store, grace time.Duration, maxPending int) ReplayResult {
+func (inj *Injector) Replay(view *netstate.View, g *dgraph.Graph, st store.Store, grace time.Duration, maxPending int) ReplayResult {
 	type delivery struct {
 		at time.Time
 		in event.Instance

@@ -236,7 +236,7 @@ type transition struct {
 type Collector struct {
 	Topo    *netmodel.Topology
 	Aliases *netmodel.AliasTable
-	Store   *store.Store
+	Store   store.Store
 	OSPF    *ospf.Sim
 	BGP     *bgp.Sim
 
@@ -302,7 +302,7 @@ type Collector struct {
 // simulations start empty and are populated by the respective monitor
 // feeds, exactly as the paper reconstructs routing state from proactively
 // collected monitoring data.
-func New(topo *netmodel.Topology, st *store.Store, year int) *Collector {
+func New(topo *netmodel.Topology, st store.Store, year int) *Collector {
 	c := &Collector{
 		Topo:       topo,
 		Aliases:    netmodel.NewAliasTable(topo),

@@ -13,7 +13,7 @@ import (
 	"grca/internal/testnet"
 )
 
-func newCollector(t *testing.T) (*Collector, *store.Store) {
+func newCollector(t *testing.T) (*Collector, store.Store) {
 	t.Helper()
 	n := testnet.Build(t.Fatalf)
 	st := store.New()

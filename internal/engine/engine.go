@@ -50,7 +50,7 @@ const Unknown = "Unknown"
 // Engine binds one diagnosis graph to a data store and network view. An
 // Engine is cheap; build one per application.
 type Engine struct {
-	Store *store.Store
+	Store store.Store
 	View  *netstate.View
 	Graph *dgraph.Graph
 
@@ -75,7 +75,7 @@ type Engine struct {
 }
 
 // New returns an engine over the given substrates.
-func New(st *store.Store, view *netstate.View, g *dgraph.Graph) *Engine {
+func New(st store.Store, view *netstate.View, g *dgraph.Graph) *Engine {
 	return &Engine{Store: st, View: view, Graph: g, MaxDepth: 8}
 }
 

@@ -20,7 +20,7 @@ import (
 //	eBGP flap ← Customer reset session (200)
 type fixture struct {
 	net    *testnet.Net
-	st     *store.Store
+	st     store.Store
 	eng    *Engine
 	adjLoc locus.Location // the eBGP session location on chi-per1
 	ifLoc  locus.Location // its attachment interface

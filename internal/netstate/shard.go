@@ -1,0 +1,152 @@
+package netstate
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"grca/internal/locus"
+)
+
+// ShardMap partitions the location space for the sharded ingest path.
+// Two locations that the conversion lattice can ever relate — an
+// interface and its router, a link and its endpoints, a circuit and the
+// layer-1 devices carrying it, a CDN server and its attachment router —
+// must land on the same shard so the spatial joins behind one diagnosis
+// stay shard-local. The map is the static transitive closure of that
+// relation: a union-find over the topology's expansion edges, with each
+// component named by its lexicographically smallest member so the
+// partition is deterministic for any build order.
+//
+// Placement is a locality optimization, never a correctness requirement
+// (reads scatter-gather across all shards), so locations outside the
+// known topology simply key to themselves: distinct unknown anchors
+// spread across shards by hash.
+type ShardMap struct {
+	root map[string]string // component key → canonical (min) member
+	// srcIngress resolves a SourceDestination's configured ingress
+	// router, the one anchor that is not derivable from the location
+	// itself.
+	srcIngress map[string]string
+}
+
+// Component keys. Each anchor class gets a distinct prefix so e.g. a
+// router and a layer-1 device sharing a name stay distinct nodes.
+func routerKey(name string) string { return "R|" + name }
+func popKey(name string) string    { return "P|" + name }
+func linkKey(id string) string     { return "L|" + id }
+func physKey(id string) string     { return "PH|" + id }
+func l1Key(name string) string     { return "D|" + name }
+func serverKey(name string) string { return "S|" + name }
+
+// anchorKey maps a location to its component anchor — the node the
+// union-find relates to everything the lattice can convert the location
+// into. An empty string means the type has no static anchor.
+func anchorKey(loc locus.Location) string {
+	switch loc.Type {
+	case locus.Router, locus.Interface, locus.LineCard, locus.RouterNeighbor:
+		return routerKey(loc.A)
+	case locus.PoP:
+		return popKey(loc.A)
+	case locus.LogicalLink:
+		return linkKey(loc.A)
+	case locus.PhysicalLink:
+		return physKey(loc.A)
+	case locus.Layer1Device:
+		return l1Key(loc.A)
+	case locus.Server, locus.ServerClient:
+		return serverKey(loc.A)
+	case locus.IngressEgress, locus.IngressDestination, locus.EgressDestination:
+		return routerKey(loc.A)
+	case locus.SourceIngress:
+		return routerKey(loc.B)
+	}
+	return ""
+}
+
+// BuildShardMap derives the location partition from a finalized view:
+// one union-find edge per conversion the topology supports.
+func BuildShardMap(v *View) *ShardMap {
+	u := map[string]string{}
+	find := func(k string) string {
+		for u[k] != "" && u[k] != k {
+			u[k] = u[u[k]] // path halving
+			k = u[k]
+		}
+		if u[k] == "" {
+			u[k] = k
+		}
+		return k
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			u[ra] = rb
+		}
+	}
+
+	topo := v.Topo
+	for _, r := range topo.Routers {
+		union(routerKey(r.Name), popKey(r.PoP))
+	}
+	for _, l := range topo.Links {
+		union(linkKey(l.ID), routerKey(l.A.Router.Name))
+		union(linkKey(l.ID), routerKey(l.B.Router.Name))
+	}
+	for _, p := range topo.Phys {
+		union(physKey(p.ID), linkKey(p.Logical.ID))
+		for _, d := range p.L1 {
+			union(l1Key(d.Name), physKey(p.ID))
+		}
+	}
+	for server, router := range v.serverRouter {
+		union(serverKey(server), routerKey(router))
+	}
+
+	// Canonicalize: every member of a component maps to the
+	// lexicographically smallest member, independent of union order.
+	members := map[string][]string{}
+	for k := range u {
+		r := find(k)
+		members[r] = append(members[r], k)
+	}
+	m := &ShardMap{root: make(map[string]string, len(u)), srcIngress: map[string]string{}}
+	for _, ks := range members {
+		sort.Strings(ks)
+		for _, k := range ks {
+			m.root[k] = ks[0]
+		}
+	}
+	for client, ingress := range v.clientIngr {
+		m.srcIngress[client] = routerKey(ingress)
+	}
+	return m
+}
+
+// Key returns the deterministic shard key of a location: its component's
+// canonical root when the anchor is part of the known topology, the
+// location's own canonical Key otherwise. A nil map anchors nothing.
+func (m *ShardMap) Key(loc locus.Location) string {
+	k := anchorKey(loc)
+	if k == "" && loc.Type == locus.SourceDestination && m != nil {
+		k = m.srcIngress[loc.A]
+	}
+	if k == "" {
+		return loc.Key()
+	}
+	if m != nil {
+		if root, ok := m.root[k]; ok {
+			return root
+		}
+	}
+	return k
+}
+
+// Shard maps a location to a shard index in [0, n) by hashing its Key.
+func (m *ShardMap) Shard(loc locus.Location, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(m.Key(loc)))
+	return int(h.Sum32() % uint32(n))
+}

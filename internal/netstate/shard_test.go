@@ -1,0 +1,128 @@
+package netstate_test
+
+import (
+	"fmt"
+	"testing"
+
+	"grca/internal/locus"
+	"grca/internal/netstate"
+	"grca/internal/platform"
+	"grca/internal/simnet"
+)
+
+// TestShardMapCoShardsConvertibleLocations is the shard-routing property
+// test: for every concrete location the builtin app bundles' topologies
+// contain, every location reachable from it through the conversion
+// lattice (View.Expand at every statically convertible level) must map
+// to the same shard key — so the spatial joins behind one diagnosis
+// always stay shard-local, for any shard count.
+func TestShardMapCoShardsConvertibleLocations(t *testing.T) {
+	bundles := map[string]simnet.Config{
+		"bgpflap":  {Seed: 11, BGPFlapIncidents: 3},
+		"cdn":      {Seed: 12, CDNIncidents: 3},
+		"pim":      {Seed: 13, PIMIncidents: 3},
+		"backbone": {Seed: 14, BackboneIncidents: 3},
+	}
+	for name, cfg := range bundles {
+		t.Run(name, func(t *testing.T) {
+			d, err := simnet.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := platform.FromDataset(d, platform.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := netstate.BuildShardMap(sys.View)
+			locs := enumerateLocations(sys)
+			if len(locs) == 0 {
+				t.Fatal("no locations enumerated")
+			}
+			when := d.Config.Start.Add(d.Config.Duration / 2)
+			checked := 0
+			for _, loc := range locs {
+				key := m.Key(loc)
+				for lt := locus.Type(1); lt < locus.Type(32); lt++ {
+					if !lt.Valid() || !netstate.ConvertibleTo(loc.Type, lt) {
+						continue
+					}
+					exp, err := sys.View.Expand(loc, lt, when)
+					if err != nil {
+						// Statically convertible but dynamically
+						// infeasible for this particular location (no
+						// route, no circuit) — not a routing concern.
+						continue
+					}
+					for _, e := range exp {
+						if got := m.Key(e); got != key {
+							t.Fatalf("%s expands to %s at level %s, but shard keys differ: %q vs %q",
+								loc.Key(), e.Key(), lt, key, got)
+						}
+						checked++
+					}
+				}
+			}
+			if checked == 0 {
+				t.Fatal("no expansions checked")
+			}
+			// The partition must be stable for every shard count.
+			for _, n := range []int{1, 2, 4, 7} {
+				for _, loc := range locs {
+					s := m.Shard(loc, n)
+					if s < 0 || s >= n || (n == 1 && s != 0) {
+						t.Fatalf("shard index %d out of range [0,%d) for %s", s, n, loc.Key())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardMapUnknownLocationsSpread pins the fallback behavior the
+// ingest benchmark relies on: anchors outside the topology key to
+// themselves, so distinct unknown routers spread across shards instead
+// of collapsing onto one.
+func TestShardMapUnknownLocationsSpread(t *testing.T) {
+	var m *netstate.ShardMap // nil map: nothing anchored
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		loc := locus.Between(locus.Interface, fmt.Sprintf("load-r%d", i), "ge-0/0/1")
+		seen[m.Shard(loc, 4)] = true
+		// Same-router locations still co-shard even without topology.
+		other := locus.At(locus.Router, fmt.Sprintf("load-r%d", i))
+		if m.Shard(other, 4) != m.Shard(loc, 4) {
+			t.Fatalf("interface and its router diverge without a topology: %s", loc.Key())
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("64 distinct routers hit only shards %v, want all 4", seen)
+	}
+}
+
+// enumerateLocations lists every concrete location type the topology and
+// CDN registrations support.
+func enumerateLocations(sys *platform.System) []locus.Location {
+	var out []locus.Location
+	topo := sys.Topo
+	for _, r := range topo.Routers {
+		out = append(out, locus.At(locus.Router, r.Name))
+		out = append(out, locus.At(locus.PoP, r.PoP))
+		for _, c := range r.Cards {
+			out = append(out, locus.Between(locus.LineCard, r.Name, fmt.Sprint(c.Slot)))
+			for _, p := range c.Ports {
+				out = append(out, locus.Between(locus.Interface, r.Name, p.Name))
+			}
+		}
+	}
+	for _, l := range topo.Links {
+		out = append(out, locus.At(locus.LogicalLink, l.ID))
+	}
+	for _, p := range topo.Phys {
+		out = append(out, locus.At(locus.PhysicalLink, p.ID))
+		for _, d := range p.L1 {
+			out = append(out, locus.At(locus.Layer1Device, d.Name))
+		}
+	}
+	return out
+}
+

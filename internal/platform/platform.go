@@ -37,7 +37,7 @@ var feedOrder = []string{
 // System is an assembled G-RCA instance.
 type System struct {
 	Topo      *netmodel.Topology
-	Store     *store.Store
+	Store     store.Store
 	Collector *collector.Collector
 	View      *netstate.View
 }

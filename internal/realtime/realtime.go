@@ -66,7 +66,7 @@ type Processor struct {
 	OnDiagnosis func(engine.Diagnosis)
 
 	eng *engine.Engine
-	st  *store.Store
+	st  store.Store
 	// pmu guards pending (and closed) so PendingSymptoms can be read
 	// from other goroutines (the HTTP result-browser handlers) while the
 	// owning goroutine observes events. All other state is owned by the
@@ -95,12 +95,12 @@ func New(view *netstate.View, g *dgraph.Graph, grace time.Duration) *Processor {
 // is shared by ingest, diagnosis, and trending. Events reach the
 // processor through ObserveStored after the owner has added them;
 // calling Observe on such a processor would store them twice.
-func NewOnStore(st *store.Store, view *netstate.View, g *dgraph.Graph, grace time.Duration) *Processor {
+func NewOnStore(st store.Store, view *netstate.View, g *dgraph.Graph, grace time.Duration) *Processor {
 	return &Processor{Grace: grace, eng: engine.New(st, view, g), st: st}
 }
 
 // Store exposes the processor's event store (e.g. for trending).
-func (p *Processor) Store() *store.Store { return p.st }
+func (p *Processor) Store() store.Store { return p.st }
 
 // Observe ingests one normalized event instance. Instances should arrive
 // in nondecreasing order of availability (their End time), with a

@@ -25,7 +25,7 @@ func diag(sym *event.Instance, label string) engine.Diagnosis {
 }
 
 // fill stores n instances of name spaced by step and returns them.
-func fill(st *store.Store, name string, n int, start time.Time, step time.Duration) []*event.Instance {
+func fill(st store.Store, name string, n int, start time.Time, step time.Duration) []*event.Instance {
 	out := make([]*event.Instance, 0, n)
 	for i := 0; i < n; i++ {
 		at := start.Add(time.Duration(i) * step)

@@ -5,33 +5,49 @@
 //
 // # Durability model
 //
-// Two append-only structures under the data directory carry the state:
+// The store is split into N independent shards (Config.Shards), each a
+// complete lane of the write path with its own lock, WAL segment
+// directory, snapshot directory, ingest journal, and applier goroutine.
+// Two append-only structures per shard carry the state:
 //
 //   - The event WAL (internal/wal): every normalized instance added to
-//     the store, with snapshots and compaction. It recovers the store
+//     the shard, with snapshots and compaction. It recovers the shard
 //     byte-identically and fast.
-//   - The ingest journal (journal.log): every accepted ingest batch in
-//     arrival order — raw feed lines or normalized-event JSON — plus the
-//     finalize marker. The collector's parse state (routing simulations,
-//     pairing buffers, rolling baselines) is a function of raw input, not
-//     of normalized events, so restart recovery replays this journal
-//     through a fresh collector to rebuild it.
+//   - The ingest journal (journal.log): accepted ingest batches — raw
+//     feed lines or normalized-event bodies — plus the finalize marker.
+//     Every record carries the batch's global sequence number, so the
+//     union of all shard journals, sorted by sequence, is the total
+//     ingest history in commit order. The collector's parse state
+//     (routing simulations, pairing buffers, rolling baselines) is a
+//     function of raw input, not of normalized events, so restart
+//     recovery replays this merged journal through a fresh collector.
 //
-// The journal append (fsynced) is the batch commit point; the WAL commit
-// follows it. On startup both are reconciled: the journal is replayed
-// into a scratch pipeline and the scratch store's digest must equal the
-// WAL-recovered store's. A mismatch — a crash between journal fsync and
-// WAL commit, or a corrupt WAL — rebuilds the WAL from the journal
-// replay, so recovery always converges on the journal's longest
-// committed prefix of batches.
+// A batch's journal append (fsynced, on the one shard that owns its
+// record) is its commit point; the per-shard WAL commits follow it. On
+// startup all shards are reconciled: the merged journal replays into a
+// scratch sharded pipeline, and each scratch shard's digest must equal
+// the corresponding WAL-recovered shard's. A mismatch — a crash between
+// journal fsync and WAL commit, a lost shard directory, or corruption —
+// rebuilds that shard's WAL from the journal replay, so recovery always
+// converges on the journals' committed batch set. See DESIGN.md §15 for
+// the ID-renumbering caveat when unacknowledged batches are torn out of
+// the middle of the sequence.
 //
 // # Pipeline
 //
-// One applier goroutine owns all writes: HTTP handlers enqueue batches
-// onto a bounded queue and wait for the result; when the queue is full
-// the handler answers 429 with Retry-After instead of buffering — memory
-// stays bounded under overload. Reads (diagnose, events, stats) bypass
-// the queue; the store and view take their own read locks.
+// HTTP handlers dispatch batches under a single admission lock that
+// assigns the global sequence number and a dense block of event IDs,
+// splits the batch by the location→shard routing function, and enqueues
+// each sub-batch onto its shard's bounded queue — when an involved queue
+// is full the handler answers 429 with a depth-derived Retry-After
+// instead of buffering, before any ID is allocated, so memory stays
+// bounded and IDs stay dense under overload. Per-shard applier
+// goroutines drain their queues in commit groups (journal fsync, store
+// inserts, WAL commit — each amortized across every batch waiting), and
+// a single finisher goroutine joins the shards' completions back into
+// sequence order to run the streaming processors and reply — so
+// responses are byte-identical for every shard count. Reads (diagnose,
+// events, stats) bypass the queues and scatter-gather the shards.
 package server
 
 import (
@@ -43,6 +59,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -55,6 +73,7 @@ import (
 	"grca/internal/dgraph"
 	"grca/internal/engine"
 	"grca/internal/event"
+	"grca/internal/locus"
 	"grca/internal/netmodel"
 	"grca/internal/netstate"
 	"grca/internal/obs"
@@ -75,10 +94,13 @@ var (
 	mRebuilt    = obs.GetCounter("server.recovery.wal.rebuilt")
 )
 
-// Journal record kinds. A record is kind | uvarint len(source) | source |
-// body: raw feed lines for recFeed, the JSON event array for recEvents,
-// a wire.KindEvents batch (verbatim request bytes) for recEventsWire,
-// empty for recFinalize.
+// Journal record kinds. A record is uvarint seq | kind |
+// uvarint len(source) | source | body: raw feed lines for recFeed, the
+// JSON event array for recEvents, a wire.KindEvents batch (verbatim
+// request bytes) for recEventsWire, empty for recFinalize. seq is the
+// batch's global dispatch sequence — records of different batches live
+// in different shard journals, and sorting the union by seq recovers
+// the total commit order.
 const (
 	recFeed       = 1
 	recFinalize   = 2
@@ -86,24 +108,30 @@ const (
 	recEventsWire = 4
 )
 
-func encodeRecord(kind byte, source string, body []byte) []byte {
-	out := make([]byte, 0, 1+10+len(source)+len(body))
+func encodeRecord(seq int, kind byte, source string, body []byte) []byte {
+	out := make([]byte, 0, 10+1+10+len(source)+len(body))
+	out = binary.AppendUvarint(out, uint64(seq))
 	out = append(out, kind)
 	out = binary.AppendUvarint(out, uint64(len(source)))
 	out = append(out, source...)
 	return append(out, body...)
 }
 
-func decodeRecord(p []byte) (kind byte, source string, body []byte, err error) {
+func decodeJournalRecord(p []byte) (seq int, kind byte, source string, body []byte, err error) {
+	sq, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return 0, 0, "", nil, fmt.Errorf("server: truncated journal record seq")
+	}
+	p = p[sz:]
 	if len(p) < 1 {
-		return 0, "", nil, fmt.Errorf("server: empty journal record")
+		return 0, 0, "", nil, fmt.Errorf("server: empty journal record")
 	}
 	kind, p = p[0], p[1:]
 	n, sz := binary.Uvarint(p)
 	if sz <= 0 || n > uint64(len(p)-sz) {
-		return 0, "", nil, fmt.Errorf("server: truncated journal record source")
+		return 0, 0, "", nil, fmt.Errorf("server: truncated journal record source")
 	}
-	return kind, string(p[sz : sz+int(n)]), p[sz+int(n):], nil
+	return int(sq), kind, string(p[sz : sz+int(n)]), p[sz+int(n):], nil
 }
 
 // appSpec binds one packaged RCA application to the service. display
@@ -112,7 +140,7 @@ func decodeRecord(p []byte) (kind byte, source string, body []byte, err error) {
 type appSpec struct {
 	name      string
 	build     func() (*event.Library, *dgraph.Graph, error)
-	newEngine func(*store.Store, *netstate.View) (*engine.Engine, error)
+	newEngine func(store.Store, *netstate.View) (*engine.Engine, error)
 	display   func(string) string
 }
 
@@ -144,29 +172,36 @@ const maxEventDuration = 15 * time.Minute
 
 // Config configures Open.
 type Config struct {
-	// DataDir holds the WAL, snapshots, and ingest journal.
+	// DataDir holds the WAL, snapshots, and ingest journal — per shard,
+	// under shard-<i>/ when Shards > 1.
 	DataDir string
 	// Bundle supplies the configuration archive and manifest (collection
 	// window, CDN deployment). Its Feeds are ignored — feeds arrive over
 	// HTTP.
 	Bundle platform.Bundle
+	// Shards is the number of independent store/WAL/journal lanes the
+	// ingest path commits through (default 1). A data directory is bound
+	// to its shard count at creation; reopening with a different count is
+	// refused.
+	Shards int
 	// Fsync is the WAL durability policy (default batch). The ingest
-	// journal always fsyncs per batch; this tunes only the event WAL.
+	// journal always fsyncs per commit group; this tunes only the event
+	// WAL.
 	Fsync wal.FsyncPolicy
 	// FsyncInterval is the WAL background sync period under interval
 	// policy.
 	FsyncInterval time.Duration
-	// SnapshotEvery auto-snapshots the store after that many WAL records.
+	// SnapshotEvery auto-snapshots a shard after that many WAL records.
 	SnapshotEvery int
-	// Retention, when positive, evicts events older than this behind the
-	// store's moving window; eviction triggers a snapshot so compaction
+	// Retention, when positive, evicts events older than this behind each
+	// shard's moving window; eviction triggers a snapshot so compaction
 	// keeps disk bounded too.
 	Retention time.Duration
-	// MaxInflight bounds the ingest queue (default 64 batches); beyond
-	// it, ingest answers 429.
+	// MaxInflight bounds each shard's ingest queue (default 64 batches);
+	// when an involved shard's queue is full, ingest answers 429.
 	MaxInflight int
-	// RequestTimeout bounds one request's wait for the applier (default
-	// 60s).
+	// RequestTimeout bounds one request's wait for the commit pipeline
+	// (default 60s).
 	RequestTimeout time.Duration
 	// LegacyParsers forces the collector's reference string parsers
 	// instead of the zero-copy fast path (an escape hatch; the two are
@@ -182,6 +217,9 @@ type Config struct {
 }
 
 func (c *Config) defaults() {
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
 	if c.MaxInflight <= 0 {
 		c.MaxInflight = 64
 	}
@@ -190,36 +228,63 @@ func (c *Config) defaults() {
 	}
 }
 
-// task is one queued ingest batch.
+// task is one validated ingest request handed to the dispatcher.
 type task struct {
 	kind   byte
 	source string
 	lines  []byte
 	events []event.Instance
-	raw    []byte // journal body for recEvents
-	reply  chan taskResult
+	raw    []byte // journal body for recEvents/recEventsWire
 }
 
 type taskResult struct {
-	status int
-	resp   IngestResponse
-	err    error
+	status     int
+	resp       IngestResponse
+	err        error
+	retryAfter int // seconds, set on 429
+}
+
+// shard is one lane of the parallel commit pipeline: a store shard, its
+// WAL, its slice of the ingest journal, and the bounded queue its
+// applier goroutine drains.
+type shard struct {
+	st    *store.Memory
+	log   *wal.Log
+	jour  *wal.Journal
+	queue chan shardTask
+	done  chan struct{}
 }
 
 // Server is an open diagnosis service.
 type Server struct {
-	cfg  Config
-	topo *netmodel.Topology
-	log  *wal.Log
-	st   *store.Store
-	jour *wal.Journal
-	coll *collector.Collector
+	cfg    Config
+	topo   *netmodel.Topology
+	shards []*shard
+	st     *store.Sharded
+	coll   *collector.Collector
 
-	queue chan task
-	done  chan struct{}
+	// dispatchMu serializes batch admission: sequence numbering, ID block
+	// allocation, shard routing, and queue placement. Feeds and finalize
+	// apply inline under it (they read and mutate collector state), so it
+	// also serializes every collector write and every routing change.
+	dispatchMu sync.Mutex
+	seq        int
+	routeCache map[locus.Location]int
+
+	// The finisher joins shard completions back into sequence order:
+	// batches enter finishQ at dispatch, and the finisher replies to each
+	// after its shards commit, running the streaming processors over the
+	// stored events in dispatch order so responses are byte-identical for
+	// any shard count.
+	finishQ     chan *batch
+	finishDone  chan struct{}
+	finishMu    sync.Mutex
+	finishCond  *sync.Cond
+	finishedSeq int
 
 	// mu guards the serving-phase artifacts (finalized flag, view,
-	// engines, processors): written by the applier, read by handlers.
+	// engines, processors): written at finalize, read by handlers and the
+	// finisher.
 	mu        sync.RWMutex
 	finalized bool
 	view      *netstate.View
@@ -246,18 +311,60 @@ type RecoveryInfo struct {
 	Finalized bool
 	// Events is the recovered store's live event count.
 	Events int
-	// WALRebuilt is true when the WAL disagreed with the journal (crash
-	// between journal fsync and WAL commit, or corruption) and was
-	// rebuilt from the journal replay.
+	// Shards is the shard count the data directory is bound to.
+	Shards int
+	// WALRebuilt is true when at least one shard's WAL disagreed with the
+	// merged journal (crash between journal fsync and WAL commit, a lost
+	// shard directory, or corruption) and was rebuilt from the journal
+	// replay.
 	WALRebuilt bool
 }
 
 func journalPath(dir string) string { return filepath.Join(dir, "journal.log") }
 
+// shardDir returns shard i's state directory: the data dir itself for a
+// single-shard deployment (the pre-sharding layout), shard-<i>/ under it
+// otherwise.
+func shardDir(dataDir string, n, i int) string {
+	if n == 1 {
+		return dataDir
+	}
+	return filepath.Join(dataDir, fmt.Sprintf("shard-%d", i))
+}
+
+// checkShardMarker binds the data directory to its shard count: the
+// journals' sequence interleave and per-shard event placement are
+// functions of N, so reopening with a different N would replay into the
+// wrong shards. Pre-sharding directories (journal present, no marker)
+// are adopted as single-shard.
+func checkShardMarker(dataDir string, n int) error {
+	path := filepath.Join(dataDir, "SHARDS")
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return os.WriteFile(path, []byte(strconv.Itoa(n)+"\n"), 0o644)
+	}
+	if err != nil {
+		return err
+	}
+	have, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	if err != nil {
+		return fmt.Errorf("server: unreadable shard marker %s: %v", path, err)
+	}
+	if have != n {
+		return fmt.Errorf("server: data dir %s holds %d shards, opened with %d (resharding is not supported)",
+			dataDir, have, n)
+	}
+	return nil
+}
+
 // Open recovers (or initializes) the service under cfg.DataDir.
 func Open(cfg Config) (*Server, error) {
 	cfg.defaults()
+	n := cfg.Shards
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := checkShardMarker(cfg.DataDir, n); err != nil {
 		return nil, err
 	}
 	topo, err := conf.Parse(cfg.Bundle.Configs, cfg.Bundle.Inventory)
@@ -269,67 +376,113 @@ func Open(cfg Config) (*Server, error) {
 		SnapshotEvery: cfg.SnapshotEvery, Retention: cfg.Retention,
 		ReplayWorkers: cfg.ReplayWorkers,
 	}
-	l, st, _, walErr := wal.Open(cfg.DataDir, walOpts)
 
-	// Replay the ingest journal through a scratch pipeline to rebuild
-	// collector state; its store doubles as the cross-check against the
-	// WAL-recovered store.
-	scratch, finalized, batches, err := replayJournal(cfg, topo)
+	// Recover every shard's WAL in parallel; a shard that fails here is
+	// rebuilt from the journal replay below.
+	type walState struct {
+		log *wal.Log
+		st  *store.Memory
+		err error
+	}
+	ws := make([]walState, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l, st, _, err := wal.Open(shardDir(cfg.DataDir, n, i), walOpts)
+			ws[i] = walState{l, st, err}
+		}(i)
+	}
+	wg.Wait()
+
+	// Replay the merged ingest journals through a scratch pipeline to
+	// rebuild collector state; its per-shard stores double as the
+	// cross-check against the WAL-recovered shards.
+	rep, err := replayJournals(cfg, topo)
 	if err != nil {
+		for i := range ws {
+			if ws[i].log != nil {
+				ws[i].log.Close() //nolint:errcheck // being discarded
+			}
+		}
 		return nil, err
 	}
 	rebuilt := false
-	switch {
-	case walErr != nil,
-		l != nil && wal.StoreDigest(st) != wal.StoreDigest(scratch.Store):
-		// The WAL trails or disagrees with the journal: rebuild it from
-		// the journal replay, which is the batch-level committed prefix.
-		if l != nil {
-			l.Close() //nolint:errcheck // being discarded
+	for i := range ws {
+		if ws[i].err == nil && wal.StoreDigest(ws[i].st) == wal.StoreDigest(rep.shards[i]) {
+			continue
 		}
+		// This shard's WAL trails or disagrees with the journals: rebuild
+		// it from the journal replay, which is the batch-level committed
+		// prefix.
+		if ws[i].log != nil {
+			ws[i].log.Close() //nolint:errcheck // being discarded
+		}
+		dir := shardDir(cfg.DataDir, n, i)
 		for _, sub := range []string{"wal", "snap"} {
-			if err := os.RemoveAll(filepath.Join(cfg.DataDir, sub)); err != nil {
+			if err := os.RemoveAll(filepath.Join(dir, sub)); err != nil {
 				return nil, err
 			}
 		}
-		l, st, _, err = wal.Open(cfg.DataDir, walOpts)
+		l, st, _, err := wal.Open(dir, walOpts)
 		if err != nil {
 			return nil, err
 		}
-		base, next, ins := scratch.Store.Dump()
+		base, next, ins := rep.shards[i].Dump()
 		if err := st.Restore(base, next, ins); err != nil {
-			return nil, fmt.Errorf("server: rebuilding store from journal: %v", err)
+			return nil, fmt.Errorf("server: rebuilding shard %d from journal: %v", i, err)
 		}
 		if err := l.Snapshot(); err != nil {
 			return nil, err
 		}
+		ws[i] = walState{l, st, nil}
 		rebuilt = true
 		mRebuilt.Inc()
 	}
-	mRecovered.Add(int64(batches))
+	mRecovered.Add(int64(rep.batches))
 
-	// The scratch collector carries the journal's parse state; point it
+	mems := make([]*store.Memory, n)
+	for i := range ws {
+		mems[i] = ws[i].st
+	}
+	st := store.NewShardedOf(mems, store.HashRoute(n))
+	st.SetNext(rep.scratch.NextID())
+
+	// The scratch collector carries the journals' parse state; point it
 	// at the authoritative store for all future ingest.
-	coll := scratch
+	coll := rep.coll
 	coll.Store = st
 
-	jour, err := wal.OpenJournal(journalPath(cfg.DataDir))
-	if err != nil {
-		return nil, err
+	shards := make([]*shard, n)
+	for i := range shards {
+		jour, err := wal.OpenJournal(journalPath(shardDir(cfg.DataDir, n, i)))
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = &shard{
+			st: mems[i], log: ws[i].log, jour: jour,
+			queue: make(chan shardTask, cfg.MaxInflight),
+			done:  make(chan struct{}),
+		}
 	}
 
 	s := &Server{
-		cfg: cfg, topo: topo, log: l, st: st, jour: jour, coll: coll,
-		roll:    rollup.New(rollup.Config{}),
-		hub:     newSSEHub(),
-		queue:   make(chan task, cfg.MaxInflight),
-		done:    make(chan struct{}),
-		closing: make(chan struct{}),
+		cfg: cfg, topo: topo, shards: shards, st: st, coll: coll,
+		roll:        rollup.New(rollup.Config{}),
+		hub:         newSSEHub(),
+		seq:         rep.maxSeq + 1,
+		routeCache:  map[locus.Location]int{},
+		finishQ:     make(chan *batch, n*cfg.MaxInflight+n+1),
+		finishDone:  make(chan struct{}),
+		finishedSeq: rep.maxSeq,
+		closing:     make(chan struct{}),
 		recovery: RecoveryInfo{
-			Batches: batches, Finalized: finalized,
-			Events: st.Len(), WALRebuilt: rebuilt,
+			Batches: rep.batches, Finalized: rep.finalized,
+			Events: st.Len(), Shards: n, WALRebuilt: rebuilt,
 		},
 	}
+	s.finishCond = sync.NewCond(&s.finishMu)
 	// The Result Browser rollups: seed the trend bins from the recovered
 	// store (Restore bypasses the append hook), then track every future
 	// append and eviction incrementally. Cause counters are seeded by
@@ -337,18 +490,25 @@ func Open(cfg Config) (*Server, error) {
 	s.roll.SeedEvents(st)
 	st.OnAppend(s.roll.ObserveEvent)
 	st.OnEvict(s.roll.EvictEvents)
-	st.OnEvict(func([]*event.Instance, time.Time) {
-		// Runs on the applier goroutine (the only writer): evicting the
-		// store is the moment to snapshot, so segment compaction keeps
-		// disk bounded the same way retention bounds memory.
-		l.Snapshot() //nolint:errcheck // sticky in the log
-	})
-	if finalized {
+	for i := range shards {
+		l := shards[i].log
+		mems[i].OnEvict(func([]*event.Instance, time.Time) {
+			// Runs on that shard's applier goroutine (its only writer):
+			// evicting the shard is the moment to snapshot, so segment
+			// compaction keeps disk bounded the same way retention bounds
+			// memory.
+			l.Snapshot() //nolint:errcheck // sticky in the log
+		})
+	}
+	if rep.finalized {
 		if err := s.installServing(true); err != nil {
 			return nil, err
 		}
 	}
-	go s.applier()
+	for i := range shards {
+		go s.applier(shards[i])
+	}
+	go s.finisher()
 	return s, nil
 }
 
@@ -356,79 +516,136 @@ func Open(cfg Config) (*Server, error) {
 func (s *Server) Recovery() RecoveryInfo { return s.recovery }
 
 // Store exposes the authoritative event store (tests, CLI wiring).
-func (s *Server) Store() *store.Store { return s.st }
+func (s *Server) Store() store.Store { return s.st }
 
-// replayJournal rebuilds the pipeline state recorded in the journal into
-// a fresh collector + store.
-func replayJournal(cfg Config, topo *netmodel.Topology) (c *collector.Collector, finalized bool, batches int, err error) {
-	st := store.New()
-	if cfg.Retention > 0 {
-		st.SetRetention(cfg.Retention)
+// replayResult is what replayJournals rebuilt.
+type replayResult struct {
+	coll      *collector.Collector
+	shards    []*store.Memory
+	scratch   *store.Sharded
+	finalized bool
+	batches   int
+	maxSeq    int
+}
+
+// latticeRoute builds the post-finalize location→shard routing function:
+// conversion-lattice components co-shard, everything else spreads by
+// hash of its own key.
+func latticeRoute(view *netstate.View, n int) func(locus.Location) int {
+	m := netstate.BuildShardMap(view)
+	return func(loc locus.Location) int { return m.Shard(loc, n) }
+}
+
+// replayJournals rebuilds the pipeline state recorded across all shard
+// journals into a fresh collector + sharded store: the records are
+// merged in global sequence order, so dense ID allocation and shard
+// placement replay exactly as the original dispatch produced them.
+func replayJournals(cfg Config, topo *netmodel.Topology) (replayResult, error) {
+	n := cfg.Shards
+	rep := replayResult{maxSeq: -1, shards: make([]*store.Memory, n)}
+	for i := range rep.shards {
+		rep.shards[i] = store.New()
+		if cfg.Retention > 0 {
+			rep.shards[i].SetRetention(cfg.Retention)
+		}
 	}
-	c = collector.New(topo, st, cfg.Bundle.Start.Year())
+	rep.scratch = store.NewShardedOf(rep.shards, store.HashRoute(n))
+	c := collector.New(topo, rep.scratch, cfg.Bundle.Start.Year())
 	c.LegacyParsers = cfg.LegacyParsers
 	c.WindowStart = cfg.Bundle.Start
 	c.WindowEnd = cfg.Bundle.Start.Add(cfg.Bundle.Duration)
+	rep.coll = c
 
-	_, err = wal.ReplayJournal(journalPath(cfg.DataDir), func(p []byte) error {
-		kind, source, body, err := decodeRecord(p)
-		if err != nil {
-			return err
-		}
-		batches++
-		switch kind {
-		case recFeed:
-			return c.Ingest(source, bytes.NewReader(body))
-		case recFinalize:
-			if err := c.Finalize(); err != nil {
+	type jrec struct {
+		seq    int
+		kind   byte
+		source string
+		body   []byte
+	}
+	var recs []jrec
+	for i := 0; i < n; i++ {
+		_, err := wal.ReplayJournal(journalPath(shardDir(cfg.DataDir, n, i)), func(p []byte) error {
+			seq, kind, source, body, err := decodeJournalRecord(p)
+			if err != nil {
 				return err
 			}
-			cdn.MaterializeEgressChanges(c, cfg.Bundle.CDN, c.WindowStart, c.WindowEnd)
-			finalized = true
+			recs = append(recs, jrec{seq, kind, source, body})
 			return nil
+		})
+		if err != nil {
+			return rep, fmt.Errorf("server: journal replay: %v", err)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+
+	for _, r := range recs {
+		rep.batches++
+		if r.seq > rep.maxSeq {
+			rep.maxSeq = r.seq
+		}
+		switch r.kind {
+		case recFeed:
+			if err := c.Ingest(r.source, bytes.NewReader(r.body)); err != nil {
+				// The original run journaled this batch before rejecting it
+				// with the same deterministic parse error; state after the
+				// partial ingest is identical either way.
+				continue
+			}
+		case recFinalize:
+			if err := c.Finalize(); err != nil {
+				return rep, fmt.Errorf("server: journal replay: finalize: %v", err)
+			}
+			cdn.MaterializeEgressChanges(c, cfg.Bundle.CDN, c.WindowStart, c.WindowEnd)
+			view := netstate.NewView(topo, c.OSPF, c.BGP)
+			cdn.Register(view, cfg.Bundle.CDN)
+			rep.scratch.SetRoute(latticeRoute(view, n))
+			rep.finalized = true
 		case recEvents:
 			var evs []EventJSON
-			if err := json.Unmarshal(body, &evs); err != nil {
-				return fmt.Errorf("server: journaled event batch: %v", err)
+			if err := json.Unmarshal(r.body, &evs); err != nil {
+				return rep, fmt.Errorf("server: journaled event batch: %v", err)
 			}
 			for _, ej := range evs {
 				in, err := ej.instance()
 				if err != nil {
-					return fmt.Errorf("server: journaled event batch: %v", err)
+					return rep, fmt.Errorf("server: journaled event batch: %v", err)
 				}
-				st.Add(in)
+				rep.scratch.Add(in)
 			}
-			return nil
 		case recEventsWire:
-			b, err := wire.Decode(body)
+			b, err := wire.Decode(r.body)
 			if err != nil {
-				return fmt.Errorf("server: journaled event batch: %v", err)
+				return rep, fmt.Errorf("server: journaled event batch: %v", err)
 			}
 			if b.Kind != wire.KindEvents {
-				return fmt.Errorf("server: journaled event batch: wire kind %d, want events", b.Kind)
+				return rep, fmt.Errorf("server: journaled event batch: wire kind %d, want events", b.Kind)
 			}
 			for i := range b.Events {
-				st.Add(b.Events[i])
+				rep.scratch.Add(b.Events[i])
 			}
-			return nil
+		default:
+			return rep, fmt.Errorf("server: unknown journal record kind %d", r.kind)
 		}
-		return fmt.Errorf("server: unknown journal record kind %d", kind)
-	})
-	if err != nil {
-		return nil, false, batches, fmt.Errorf("server: journal replay: %v", err)
 	}
-	return c, finalized, batches, nil
+	return rep, nil
 }
 
 // installServing transitions to the serving phase: routing view, CDN
-// registration, per-application engines and streaming processors. With
-// rebuildTails (recovery), each processor re-observes the tail of the
-// stored stream so symptoms still inside their grace window at the crash
-// stay pending instead of vanishing; their already-served diagnoses are
-// discarded.
+// registration, lattice-aware shard routing, per-application engines and
+// streaming processors. With rebuildTails (recovery), each processor
+// re-observes the tail of the stored stream so symptoms still inside
+// their grace window at the crash stay pending instead of vanishing;
+// their already-served diagnoses are discarded. Runs under dispatchMu
+// (finalize) or before concurrency starts (Open).
 func (s *Server) installServing(rebuildTails bool) error {
 	view := netstate.NewView(s.topo, s.coll.OSPF, s.coll.BGP)
 	cdn.Register(view, s.cfg.Bundle.CDN)
+	// From here on, new events co-shard with everything their locations
+	// convert to through the lattice. Events stored under the bootstrap
+	// hash routing stay where they are — reads scatter-gather, so
+	// placement is a locality property, never a correctness one.
+	s.st.SetRoute(latticeRoute(view, len(s.shards)))
+	s.routeCache = map[locus.Location]int{}
 	engines := map[string]*engine.Engine{}
 	traced := map[string]*engine.Engine{}
 	procs := map[string]*realtime.Processor{}
@@ -494,7 +711,7 @@ func (s *Server) installServing(rebuildTails bool) error {
 // Emitted diagnoses are dropped — anything whose grace elapsed before
 // the crash was already served (streamed diagnoses are at-most-once; the
 // authoritative answer is always /v1/diagnose).
-func rebuildTail(st *store.Store, p *realtime.Processor) {
+func rebuildTail(st store.Store, p *realtime.Processor) {
 	_, last, ok := st.Span()
 	if !ok {
 		return
@@ -514,195 +731,22 @@ func rebuildTail(st *store.Store, p *realtime.Processor) {
 	}
 }
 
-// ---------------------------------------------------------------------
-// Applier
-// ---------------------------------------------------------------------
-
-// applier is the single writer: it drains the queue into commit groups
-// and replies to each batch. Draining coalesces the two fsyncs of a
-// commit (journal, WAL) across every batch already waiting — group
-// commit at the pipeline level, with the bounded queue itself as the
-// wait window, so the fsync amortization grows exactly when load does.
-// A finalize never shares a group: it flips what later batches are
-// allowed to do, so it always commits alone.
-func (s *Server) applier() {
-	defer close(s.done)
-	var carry *task
-	for {
-		var group []task
-		if carry != nil {
-			group, carry = []task{*carry}, nil
-		} else {
-			t, ok := <-s.queue
-			if !ok {
-				return
-			}
-			group = []task{t}
-		}
-		if group[0].kind != recFinalize {
-		drain:
-			for {
-				select {
-				case t, ok := <-s.queue:
-					if !ok {
-						break drain
-					}
-					if t.kind == recFinalize {
-						carry = &t
-						break drain
-					}
-					group = append(group, t)
-				default:
-					break drain
-				}
-			}
-		}
-		s.applyGroup(group)
-	}
-}
-
 func errResult(status int, format string, args ...any) taskResult {
 	return taskResult{status: status, err: fmt.Errorf(format, args...)}
-}
-
-// applyGroup commits one group of batches: stage every journal record,
-// fsync the journal once (the group's commit point), apply each batch in
-// arrival order, commit the WAL once, then reply to everyone. A batch
-// rejected during validation is never journaled and never applied; a
-// failed journal write poisons the rest of the group (bytes after a torn
-// frame would not survive replay, so acknowledging them would lie).
-func (s *Server) applyGroup(group []task) {
-	mQueueDepth.Set(int64(len(s.queue)))
-	results := make([]taskResult, len(group))
-	staged := make([]bool, len(group))
-	journaled := 0
-	finalized := s.isFinalized() // stable: finalize is always alone in its group
-	var jerr error
-	for i, t := range group {
-		if jerr != nil {
-			results[i] = errResult(http.StatusInternalServerError, "journal: %v", jerr)
-			continue
-		}
-		var rec []byte
-		switch t.kind {
-		case recFeed:
-			if finalized {
-				results[i] = errResult(http.StatusConflict, "feeds are closed: the system is finalized (use events)")
-				continue
-			}
-			rec = encodeRecord(recFeed, t.source, t.lines)
-		case recEvents, recEventsWire:
-			rec = encodeRecord(t.kind, "", t.raw)
-		case recFinalize:
-			if finalized {
-				results[i] = errResult(http.StatusConflict, "already finalized")
-				continue
-			}
-			rec = encodeRecord(recFinalize, "", nil)
-		}
-		if err := s.jour.AppendNoSync(rec); err != nil {
-			jerr = err
-			results[i] = errResult(http.StatusInternalServerError, "journal: %v", err)
-			continue
-		}
-		staged[i] = true
-		journaled++
-	}
-	if journaled > 0 {
-		if err := s.jour.Sync(); err != nil {
-			for i := range group {
-				if staged[i] {
-					staged[i] = false
-					results[i] = errResult(http.StatusInternalServerError, "journal: %v", err)
-				}
-			}
-			journaled = 0
-		}
-	}
-	for i := range group {
-		if !staged[i] {
-			continue
-		}
-		t := &group[i]
-		switch t.kind {
-		case recFeed:
-			results[i] = s.applyFeed(t.source, t.lines)
-		case recEvents, recEventsWire:
-			results[i] = s.applyEvents(t.events)
-		case recFinalize:
-			results[i] = s.applyFinalize()
-		}
-	}
-	if journaled > 0 {
-		if err := s.log.Commit(); err != nil {
-			for i := range group {
-				if staged[i] && results[i].err == nil {
-					results[i] = errResult(http.StatusInternalServerError, "wal: %v", err)
-				}
-			}
-		}
-	}
-	for i, t := range group {
-		mBatches.Inc()
-		t.reply <- results[i]
-	}
-}
-
-// applyFeed runs one journaled feed batch through the collector. An
-// invalid batch is already journaled — replay hits the same
-// deterministic error path, so state stays consistent.
-func (s *Server) applyFeed(source string, lines []byte) taskResult {
-	before := s.st.NextID()
-	if err := s.coll.Ingest(source, bytes.NewReader(lines)); err != nil {
-		return errResult(http.StatusBadRequest, "%v", err)
-	}
-	stored := s.st.NextID() - before
-	mEvents.Add(int64(stored))
-	return taskResult{status: http.StatusOK, resp: IngestResponse{Stored: stored}}
-}
-
-func (s *Server) applyEvents(events []event.Instance) taskResult {
-	var resp IngestResponse
-	s.mu.RLock()
-	procs := s.procs
-	s.mu.RUnlock()
-	specs := appSpecs()
-	for i := range events {
-		stored := s.st.Add(events[i])
-		resp.Stored++
-		for _, a := range specs { // stable app order
-			p, ok := procs[a.name]
-			if !ok {
-				continue
-			}
-			ds, late := p.ObserveStored(stored)
-			if late {
-				resp.Late++
-			}
-			for _, d := range ds {
-				dj := diagnosisJSON(d)
-				dj.App = a.name
-				resp.Diagnoses = append(resp.Diagnoses, dj)
-			}
-		}
-	}
-	mEvents.Add(int64(resp.Stored))
-	return taskResult{status: http.StatusOK, resp: resp}
-}
-
-func (s *Server) applyFinalize() taskResult {
-	if err := s.coll.Finalize(); err != nil {
-		return errResult(http.StatusInternalServerError, "finalize: %v", err)
-	}
-	cdn.MaterializeEgressChanges(s.coll, s.cfg.Bundle.CDN, s.coll.WindowStart, s.coll.WindowEnd)
-	if err := s.installServing(false); err != nil {
-		return errResult(http.StatusInternalServerError, "%v", err)
-	}
-	return taskResult{status: http.StatusOK}
 }
 
 func (s *Server) isFinalized() bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.finalized
+}
+
+// queueTotals sums depth and capacity across all shard queues (len/cap
+// on channels are safe concurrently).
+func (s *Server) queueTotals() (depth, capacity int) {
+	for _, sh := range s.shards {
+		depth += len(sh.queue)
+		capacity += cap(sh.queue)
+	}
+	return depth, capacity
 }

@@ -94,32 +94,6 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, ErrorJSON{Error: fmt.Sprintf(format, args...)})
 }
 
-// enqueue submits a batch to the applier and waits for its result.
-// A full queue is backpressure: the client is told to retry, nothing is
-// buffered. A closing server refuses new work outright.
-func (s *Server) enqueue(ctx context.Context, t task) taskResult {
-	t.reply = make(chan taskResult, 1)
-	select {
-	case <-s.closing:
-		return errResult(http.StatusServiceUnavailable, "server is draining")
-	default:
-	}
-	select {
-	case s.queue <- t:
-		mQueueDepth.Set(int64(len(s.queue)))
-	default:
-		mRejected.Inc()
-		return taskResult{status: http.StatusTooManyRequests,
-			err: fmt.Errorf("ingest queue full (%d batches)", cap(s.queue))}
-	}
-	select {
-	case res := <-t.reply:
-		return res
-	case <-ctx.Done():
-		return errResult(http.StatusServiceUnavailable, "timed out waiting for the applier")
-	}
-}
-
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST required")
@@ -204,10 +178,17 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 }
 
 func (s *Server) finishIngest(w http.ResponseWriter, r *http.Request, t task) {
-	res := s.enqueue(r.Context(), t)
+	res := s.dispatch(r.Context(), t)
 	if res.err != nil {
 		if res.status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", "1")
+			// Retry-After is derived from the pipeline's current depth at
+			// rejection time, so clients back off proportionally to the
+			// overload instead of hammering a constant cadence.
+			ra := res.retryAfter
+			if ra < 1 {
+				ra = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(ra))
 		}
 		writeErr(w, res.status, "%v", res.err)
 		return
@@ -220,7 +201,7 @@ func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	res := s.enqueue(r.Context(), task{kind: recFinalize})
+	res := s.dispatch(r.Context(), task{kind: recFinalize})
 	if res.err != nil {
 		writeErr(w, res.status, "%v", res.err)
 		return
@@ -344,13 +325,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.isFinalized() {
 		phase = "serving"
 	}
+	depth, capacity := s.queueTotals()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"phase":    phase,
 		"events":   s.st.Len(),
 		"span":     map[string]any{"first": first, "last": last},
 		"recovery": s.recovery,
 		"sources":  s.coll.Summary(),
-		"metrics":  obs.Default().Snapshot(),
+		"pipeline": map[string]any{
+			"shards":         len(s.shards),
+			"queue_depth":    depth,
+			"queue_capacity": capacity,
+		},
+		"metrics": obs.Default().Snapshot(),
 	})
 }
 
@@ -383,17 +370,29 @@ func (s *Server) Start(addr string) (string, error) {
 }
 
 // Shutdown drains gracefully: stop accepting work, let in-flight
-// requests finish, drain the applier queue, force-drain the streaming
-// processors, snapshot, and close the WAL and journal. Safe to call
-// once; the ctx bounds the HTTP drain.
+// requests finish, drain every shard's queue and the finisher,
+// force-drain the streaming processors, snapshot each shard, and close
+// the WALs and journals. Safe to call once; the ctx bounds the HTTP
+// drain.
 func (s *Server) Shutdown(ctx context.Context) error {
 	close(s.closing)
 	var err error
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
 	}
-	close(s.queue)
-	<-s.done
+	// Closing the queues under dispatchMu excludes in-flight dispatchers:
+	// anyone who passed the closing check has finished enqueueing before
+	// we close, anyone after sees closing first.
+	s.dispatchMu.Lock()
+	for _, sh := range s.shards {
+		close(sh.queue)
+	}
+	s.dispatchMu.Unlock()
+	for _, sh := range s.shards {
+		<-sh.done
+	}
+	close(s.finishQ)
+	<-s.finishDone
 	s.mu.RLock()
 	procs := s.procs
 	s.mu.RUnlock()
@@ -402,14 +401,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			p.Close()
 		}
 	}
-	if e := s.log.Snapshot(); e != nil && err == nil {
-		err = e
-	}
-	if e := s.log.Close(); e != nil && err == nil {
-		err = e
-	}
-	if e := s.jour.Close(); e != nil && err == nil {
-		err = e
+	for _, sh := range s.shards {
+		if e := sh.log.Snapshot(); e != nil && err == nil {
+			err = e
+		}
+		if e := sh.log.Close(); e != nil && err == nil {
+			err = e
+		}
+		if e := sh.jour.Close(); e != nil && err == nil {
+			err = e
+		}
 	}
 	return err
 }

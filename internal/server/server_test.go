@@ -10,13 +10,16 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 	"time"
 
 	"grca/internal/collector"
 	"grca/internal/event"
+	"grca/internal/locus"
 	"grca/internal/platform"
 	"grca/internal/simnet"
+	"grca/internal/store"
 	"grca/internal/wal"
 )
 
@@ -339,13 +342,18 @@ func TestIngestValidation(t *testing.T) {
 // instead of buffering. The applier is deliberately absent, so the queue
 // stays full.
 func TestBackpressure429(t *testing.T) {
+	// A server whose only shard queue is pre-filled and has no applier:
+	// dispatch must reject at admission, before consuming a sequence
+	// number or IDs.
 	s := &Server{
-		cfg:     Config{MaxInflight: 2, RequestTimeout: time.Second},
-		queue:   make(chan task, 2),
-		closing: make(chan struct{}),
+		cfg:        Config{MaxInflight: 2, RequestTimeout: time.Second},
+		st:         store.NewSharded(1, nil),
+		routeCache: map[locus.Location]int{},
+		closing:    make(chan struct{}),
 	}
-	s.queue <- task{}
-	s.queue <- task{}
+	s.shards = []*shard{{queue: make(chan shardTask, 2)}}
+	s.shards[0].queue <- shardTask{}
+	s.shards[0].queue <- shardTask{}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -361,8 +369,15 @@ func TestBackpressure429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 without Retry-After")
+	// Retry-After scales with queue depth: a fully loaded pipeline
+	// (depth 2 of 2) must push clients beyond the old constant 1s.
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 2 {
+		t.Errorf("Retry-After = %q, want a depth-derived value >= 2",
+			resp.Header.Get("Retry-After"))
+	}
+	if s.seq != 0 || s.st.NextID() != 0 {
+		t.Errorf("rejection consumed seq=%d nextID=%d, want neither", s.seq, s.st.NextID())
 	}
 }
 

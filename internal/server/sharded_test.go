@@ -1,0 +1,372 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"grca/internal/event"
+	"grca/internal/platform"
+	"grca/internal/wal"
+	"grca/internal/wire"
+)
+
+// lifecycleOutcome captures everything externally observable about one
+// complete life of the service: every ingest response body in order,
+// the merged store digest, and the query surfaces the Result Browser
+// and the diagnosis API serve.
+type lifecycleOutcome struct {
+	ingest    [][]byte
+	digest    string
+	events    int
+	diagnose  map[string][]byte
+	breakdown map[string][]byte
+}
+
+// lifecycleBatches builds the post-finalize event stream the harness
+// replays identically against every shard count: EBGPFlap symptoms on
+// real PERs (co-sharded with their PoP components by the lattice)
+// interleaved with synthetic ticks on unknown routers (spread across
+// shards by hash), so every batch exercises the cross-shard split and
+// the streaming-diagnosis path.
+func lifecycleBatches(b platform.Bundle) [][]EventJSON {
+	at := b.Start.Add(b.Duration).Add(time.Hour)
+	var batches [][]EventJSON
+	for i := 0; i < 6; i++ {
+		t0 := at.Add(time.Duration(i) * 10 * time.Minute)
+		var evs []EventJSON
+		evs = append(evs, EventJSON{
+			Name: event.EBGPFlap, Start: t0, End: t0.Add(time.Minute),
+			Loc: LocationJSON{Type: "router:neighbor",
+				A: fmt.Sprintf("pop%02d-per%d", i%2, 1+i%2), B: fmt.Sprintf("10.99.%d.1", i)},
+		})
+		for j := 0; j < 8; j++ {
+			evs = append(evs, EventJSON{
+				Name: "synthetic tick", Start: t0.Add(time.Second), End: t0.Add(time.Second),
+				Loc: LocationJSON{Type: "router", A: fmt.Sprintf("load-r%d", i*8+j)},
+			})
+		}
+		batches = append(batches, evs)
+	}
+	// A far-future tick drains every pending grace window so the last
+	// responses carry the remaining streaming diagnoses.
+	drain := at.Add(96 * time.Hour)
+	batches = append(batches, []EventJSON{{
+		Name: "synthetic tick", Start: drain, End: drain,
+		Loc: LocationJSON{Type: "router", A: "load-r0"},
+	}})
+	return batches
+}
+
+// driveLifecycle runs the full service life at one shard count and
+// captures the outcome. The caller owns dir (reopened by restart tests).
+func driveLifecycle(t *testing.T, dir string, b platform.Bundle, shards int) lifecycleOutcome {
+	t.Helper()
+	s, err := Open(Config{DataDir: dir, Bundle: b, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	out := lifecycleOutcome{diagnose: map[string][]byte{}, breakdown: map[string][]byte{}}
+	record := func(code int, body []byte, what string) {
+		if code != http.StatusOK {
+			t.Fatalf("%s (shards=%d): %d %s", what, shards, code, body)
+		}
+		out.ingest = append(out.ingest, body)
+	}
+	for _, src := range feedOrder {
+		feed, ok := b.Feeds[src]
+		if !ok {
+			continue
+		}
+		code, body := post(t, ts, "/v1/ingest", IngestRequest{Source: src, Lines: feed})
+		record(code, body, "feed "+src)
+	}
+	code, body := post(t, ts, "/v1/finalize", struct{}{})
+	if code != http.StatusOK {
+		t.Fatalf("finalize (shards=%d): %d %s", shards, code, body)
+	}
+	for i, evs := range lifecycleBatches(b) {
+		if i%2 == 1 {
+			// Odd batches ride the binary wire format so both journaled
+			// event representations are under differential test.
+			ins, err := decodeEvents(evs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(ts.URL+"/v1/ingest", wire.ContentType,
+				bytes.NewReader(wire.AppendEvents(nil, ins)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wbody, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			record(resp.StatusCode, wbody, fmt.Sprintf("wire event batch %d", i))
+			continue
+		}
+		code, body := post(t, ts, "/v1/ingest", IngestRequest{Events: evs})
+		record(code, body, fmt.Sprintf("event batch %d", i))
+	}
+	for _, app := range []string{"bgpflap", "cdn", "pim", "backbone"} {
+		code, body := post(t, ts, "/v1/diagnose", DiagnoseRequest{App: app, All: true})
+		if code != http.StatusOK {
+			t.Fatalf("diagnose %s (shards=%d): %d %s", app, shards, code, body)
+		}
+		out.diagnose[app] = body
+		code, body = get(t, ts, "/v1/breakdown?app="+app)
+		if code != http.StatusOK {
+			t.Fatalf("breakdown %s (shards=%d): %d %s", app, shards, code, body)
+		}
+		out.breakdown[app] = body
+	}
+	out.digest = wal.StoreDigest(s.Store())
+	out.events = s.Store().Len()
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestShardedParityDifferential is the sharded pipeline's correctness
+// gate: the same corpus driven through 1, 2, and 4 shards must be
+// externally indistinguishable — every ingest response byte-identical
+// (streaming diagnosis lists included), the merged store digest equal,
+// and the diagnose/breakdown surfaces byte-identical.
+func TestShardedParityDifferential(t *testing.T) {
+	_, b := testBundle(t)
+	base := driveLifecycle(t, t.TempDir(), b, 1)
+	if base.events == 0 {
+		t.Fatal("baseline stored no events")
+	}
+	for _, n := range []int{2, 4} {
+		got := driveLifecycle(t, t.TempDir(), b, n)
+		if got.digest != base.digest {
+			t.Errorf("shards=%d: merged store digest differs (%d vs %d events)",
+				n, got.events, base.events)
+		}
+		if len(got.ingest) != len(base.ingest) {
+			t.Fatalf("shards=%d: %d ingest responses, want %d", n, len(got.ingest), len(base.ingest))
+		}
+		for i := range base.ingest {
+			if !bytes.Equal(got.ingest[i], base.ingest[i]) {
+				t.Errorf("shards=%d: ingest response %d differs:\n  got  %s\n  want %s",
+					n, i, got.ingest[i], base.ingest[i])
+			}
+		}
+		for app, want := range base.diagnose {
+			if !bytes.Equal(got.diagnose[app], want) {
+				t.Errorf("shards=%d: diagnose %s differs", n, app)
+			}
+		}
+		for app, want := range base.breakdown {
+			if !bytes.Equal(got.breakdown[app], want) {
+				t.Errorf("shards=%d: breakdown %s differs", n, app)
+			}
+		}
+	}
+}
+
+// TestShardedRestartAndPartialWALLoss: a sharded data dir must recover
+// byte-identically after a clean restart, and — the crash-point
+// property — after losing any subset of its shard WALs, which the
+// journals rebuild. The digest must be stable across one more restart
+// after the rebuild.
+func TestShardedRestartAndPartialWALLoss(t *testing.T) {
+	_, b := testBundle(t)
+	dir := t.TempDir()
+	const shards = 3
+	before := driveLifecycle(t, dir, b, shards)
+
+	reopen := func(wantRebuilt bool, what string) string {
+		t.Helper()
+		s, err := Open(Config{DataDir: dir, Bundle: b, Shards: shards})
+		if err != nil {
+			t.Fatalf("%s: %v", what, err)
+		}
+		rec := s.Recovery()
+		if !rec.Finalized || rec.Shards != shards {
+			t.Fatalf("%s: recovery = %+v", what, rec)
+		}
+		if rec.WALRebuilt != wantRebuilt {
+			t.Errorf("%s: WALRebuilt = %v, want %v", what, rec.WALRebuilt, wantRebuilt)
+		}
+		d := wal.StoreDigest(s.Store())
+		if err := s.Shutdown(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	if d := reopen(false, "clean restart"); d != before.digest {
+		t.Fatalf("clean restart changed the store digest")
+	}
+	// Lose shard WALs in growing subsets; each recovery must rebuild the
+	// lost shards from the journals and land on the identical store.
+	for _, lost := range [][]int{{1}, {0, 2}, {0, 1, 2}} {
+		for _, i := range lost {
+			for _, sub := range []string{"wal", "snap"} {
+				if err := os.RemoveAll(filepath.Join(dir, fmt.Sprintf("shard-%d", i), sub)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		what := fmt.Sprintf("lost shards %v", lost)
+		if d := reopen(true, what); d != before.digest {
+			t.Fatalf("%s: recovered digest differs", what)
+		}
+		if d := reopen(false, what+" (second restart)"); d != before.digest {
+			t.Fatalf("%s: digest not stable across a second restart", what)
+		}
+	}
+}
+
+// TestShardedConcurrentIngest hammers a 4-shard server from parallel
+// clients (retrying 429s) and checks the pipeline's accounting: the
+// store grows by exactly the acknowledged events, and a restart
+// recovers the identical digest — under the race detector this is also
+// the concurrency soak for dispatcher, appliers, and finisher.
+func TestShardedConcurrentIngest(t *testing.T) {
+	_, b := testBundle(t)
+	dir := t.TempDir()
+	s, err := Open(Config{DataDir: dir, Bundle: b, Shards: 4, MaxInflight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	loadAndFinalize(t, ts, b)
+	before := s.Store().Len()
+
+	const workers, batches, perBatch = 8, 30, 4
+	at := b.Start.Add(b.Duration).Add(time.Hour)
+	var acked atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				evs := make([]EventJSON, perBatch)
+				for j := range evs {
+					evs[j] = EventJSON{
+						Name:  "synthetic tick",
+						Start: at.Add(time.Duration(i) * time.Second),
+						End:   at.Add(time.Duration(i) * time.Second),
+						Loc:   LocationJSON{Type: "router", A: fmt.Sprintf("load-w%d-r%d", w, j)},
+					}
+				}
+				data, err := json.Marshal(IngestRequest{Events: evs})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for {
+					resp, err := http.Post(ts.URL+"/v1/ingest", "application/json", bytes.NewReader(data))
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					code := resp.StatusCode
+					io.Copy(io.Discard, resp.Body) //nolint:errcheck // drained for reuse
+					resp.Body.Close()
+					if code == http.StatusTooManyRequests {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					if code != http.StatusOK {
+						t.Errorf("worker %d batch %d: status %d", w, i, code)
+						return
+					}
+					acked.Add(perBatch)
+					break
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := s.Store().Len()-before, int(acked.Load()); got != want {
+		t.Fatalf("store grew by %d, acknowledged %d", got, want)
+	}
+	digest := wal.StoreDigest(s.Store())
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(Config{DataDir: dir, Bundle: b, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wal.StoreDigest(s2.Store()); got != digest {
+		t.Fatal("restart after concurrent ingest changed the store digest")
+	}
+	if err := s2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardCountPinned: a data directory refuses to reopen with a
+// different shard count — the journals' interleave is a function of N.
+func TestShardCountPinned(t *testing.T) {
+	_, b := testBundle(t)
+	dir := t.TempDir()
+	s, err := Open(Config{DataDir: dir, Bundle: b, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{DataDir: dir, Bundle: b, Shards: 4}); err == nil {
+		t.Fatal("reopening a 2-shard dir with 4 shards succeeded")
+	}
+}
+
+// TestShardedTornJournalTail: a torn frame at the tail of one shard's
+// journal (the batch never acknowledged) must truncate deterministically
+// and leave a consistent, digest-stable store behind.
+func TestShardedTornJournalTail(t *testing.T) {
+	_, b := testBundle(t)
+	dir := t.TempDir()
+	const shards = 2
+	before := driveLifecycle(t, dir, b, shards)
+
+	// Append garbage (a torn partial frame) to each shard journal.
+	for i := 0; i < shards; i++ {
+		f, err := os.OpenFile(journalPath(filepath.Join(dir, fmt.Sprintf("shard-%d", i))),
+			os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte{0xFF, 0x13, 0x37}); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := Open(Config{DataDir: dir, Bundle: b, Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := wal.StoreDigest(s.Store())
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got != before.digest {
+		t.Fatal("torn journal tails changed the recovered store")
+	}
+}

@@ -41,13 +41,15 @@ type nameIndex struct {
 	dirty     bool
 }
 
-// Store is an in-memory event store. It is safe for concurrent use, and
-// reads run under a shared lock so that diagnosis can fan out across
-// goroutines. Reads may trigger a lazy re-sort after a batch of
-// out-of-order writes; a read racing such a write may observe that
-// batch partially, so run bulk analysis after ingestion settles (the
-// normal collector → engine phasing).
-type Store struct {
+// Memory is the single-lock in-memory event store — one shard of the
+// system. It is safe for concurrent use, and reads run under a shared
+// lock so that diagnosis can fan out across goroutines. Reads may
+// trigger a lazy re-sort after a batch of out-of-order writes; a read
+// racing such a write may observe that batch partially, so run bulk
+// analysis after ingestion settles (the normal collector → engine
+// phasing). The Store interface abstracts over Memory and the
+// multi-shard Sharded so readers never depend on placement.
+type Memory struct {
 	mu     sync.RWMutex
 	byName map[string]*nameIndex
 	// byID[i] holds the instance with ID base+i; a nil entry is an
@@ -76,9 +78,9 @@ type Store struct {
 	onEvict []func(evicted []*event.Instance, cutoff time.Time)
 }
 
-// New returns an empty store.
-func New() *Store {
-	return &Store{byName: map[string]*nameIndex{}}
+// New returns an empty single-shard store.
+func New() *Memory {
+	return &Memory{byName: map[string]*nameIndex{}}
 }
 
 // OnAppend registers fn to observe every stored instance. Hooks
@@ -86,28 +88,28 @@ func New() *Store {
 // under the store's write lock, so it must be cheap and must not call
 // back into the store (enqueueing for a background writer is the
 // intended use). Register hooks before concurrent use.
-func (s *Store) OnAppend(fn func(*event.Instance)) { s.onAppend = append(s.onAppend, fn) }
+func (s *Memory) OnAppend(fn func(*event.Instance)) { s.onAppend = append(s.onAppend, fn) }
 
 // OnEvict registers fn to run after each retention eviction, outside the
 // store lock, with the evicted instances and the cutoff applied. Hooks
 // accumulate and run in registration order. Snapshot/compaction
 // coordination and rollup decrements hang off this hook. Register hooks
 // before concurrent use.
-func (s *Store) OnEvict(fn func(evicted []*event.Instance, cutoff time.Time)) {
+func (s *Memory) OnEvict(fn func(evicted []*event.Instance, cutoff time.Time)) {
 	s.onEvict = append(s.onEvict, fn)
 }
 
 // SetRetention bounds the store's look-back window: instances whose End
 // falls more than d before the latest stored End are evicted, amortized
 // over inserts. Zero disables eviction.
-func (s *Store) SetRetention(d time.Duration) {
+func (s *Memory) SetRetention(d time.Duration) {
 	s.mu.Lock()
 	s.retention = d
 	s.mu.Unlock()
 }
 
 // Retention returns the configured look-back window (zero = unbounded).
-func (s *Store) Retention() time.Duration {
+func (s *Memory) Retention() time.Duration {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.retention
@@ -115,7 +117,7 @@ func (s *Store) Retention() time.Duration {
 
 // Add inserts a copy of in, assigns it a unique ID, and returns a pointer
 // to the stored instance.
-func (s *Store) Add(in event.Instance) *event.Instance {
+func (s *Memory) Add(in event.Instance) *event.Instance {
 	s.mu.Lock()
 	stored := s.addLocked(in)
 	gone, cutoff := s.maybeEvictLocked()
@@ -129,11 +131,84 @@ func (s *Store) Add(in event.Instance) *event.Instance {
 	return stored
 }
 
-func (s *Store) addLocked(in event.Instance) *event.Instance {
-	mAdds.Inc()
+func (s *Memory) addLocked(in event.Instance) *event.Instance {
 	in.ID = s.base + len(s.byID)
+	stored, _ := s.putLocked(in)
+	return stored
+}
+
+// Put inserts a copy of in at its pre-assigned ID and returns a pointer
+// to the stored instance. IDs are assigned externally (by a Sharded
+// allocator or WAL replay), so a shard's ID sequence may be sparse: a
+// forward gap leaves unassigned slots that behave exactly like
+// tombstones. A Put below the current frontier fills the matching empty
+// slot; reusing an occupied ID is an error.
+func (s *Memory) Put(in event.Instance) (*event.Instance, error) {
+	s.mu.Lock()
+	stored, err := s.putLocked(in)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	gone, cutoff := s.maybeEvictLocked()
+	cbs := s.onEvict
+	s.mu.Unlock()
+	if len(gone) > 0 {
+		for _, cb := range cbs {
+			cb(gone, cutoff)
+		}
+	}
+	return stored, nil
+}
+
+// PutAll inserts every instance at its pre-assigned ID, in order, under a
+// single lock acquisition. It stops at the first bad ID.
+func (s *Memory) PutAll(ins []event.Instance) error {
+	s.mu.Lock()
+	for _, in := range ins {
+		if _, err := s.putLocked(in); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	gone, cutoff := s.maybeEvictLocked()
+	cbs := s.onEvict
+	s.mu.Unlock()
+	if len(gone) > 0 {
+		for _, cb := range cbs {
+			cb(gone, cutoff)
+		}
+	}
+	return nil
+}
+
+func (s *Memory) putLocked(in event.Instance) (*event.Instance, error) {
+	mAdds.Inc()
+	next := s.base + len(s.byID)
 	stored := &in
-	s.byID = append(s.byID, stored)
+	switch {
+	case len(s.byID) == 0 && in.ID >= next:
+		// Empty (or fully trimmed) store: jump the base forward so a
+		// shard whose first global ID is large doesn't allocate a nil
+		// prefix.
+		s.base = in.ID
+		s.byID = append(s.byID, stored)
+	case in.ID >= next:
+		// Forward gap: IDs in between belong to other shards; leave
+		// them as unassigned (tombstone-equivalent) slots.
+		for next < in.ID {
+			s.byID = append(s.byID, nil)
+			next++
+		}
+		s.byID = append(s.byID, stored)
+	case in.ID >= s.base:
+		if s.byID[in.ID-s.base] != nil {
+			return nil, fmt.Errorf("store: Put reuses occupied ID %d", in.ID)
+		}
+		s.byID[in.ID-s.base] = stored
+	default:
+		return nil, fmt.Errorf("store: Put ID %d below store base %d", in.ID, s.base)
+	}
 	s.live++
 	idx := s.byName[in.Name]
 	if idx == nil {
@@ -156,11 +231,11 @@ func (s *Store) addLocked(in event.Instance) *event.Instance {
 	for _, fn := range s.onAppend {
 		fn(stored)
 	}
-	return stored
+	return stored, nil
 }
 
 // AddAll inserts every instance, in order, under a single lock acquisition.
-func (s *Store) AddAll(ins []event.Instance) {
+func (s *Memory) AddAll(ins []event.Instance) {
 	s.mu.Lock()
 	for _, in := range ins {
 		s.addLocked(in)
@@ -177,7 +252,7 @@ func (s *Store) AddAll(ins []event.Instance) {
 
 // Get returns the instance with the given ID. Evicted IDs report not
 // found, exactly like IDs never assigned.
-func (s *Store) Get(id int) (*event.Instance, bool) {
+func (s *Memory) Get(id int) (*event.Instance, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	i := id - s.base
@@ -188,7 +263,7 @@ func (s *Store) Get(id int) (*event.Instance, bool) {
 }
 
 // Len returns the number of live (non-evicted) stored instances.
-func (s *Store) Len() int {
+func (s *Memory) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.live
@@ -197,14 +272,14 @@ func (s *Store) Len() int {
 // NextID returns the ID the next inserted instance will receive. IDs are
 // assigned sequentially and never reused, so NextID−1 identifies the most
 // recent insert even across evictions.
-func (s *Store) NextID() int {
+func (s *Memory) NextID() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.base + len(s.byID)
 }
 
 // Count returns the number of instances of the named event.
-func (s *Store) Count(name string) int {
+func (s *Memory) Count(name string) int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if idx := s.byName[name]; idx != nil {
@@ -214,7 +289,7 @@ func (s *Store) Count(name string) int {
 }
 
 // Names returns all event names present, sorted.
-func (s *Store) Names() []string {
+func (s *Memory) Names() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]string, 0, len(s.byName))
@@ -238,13 +313,13 @@ func (idx *nameIndex) ensureSorted() {
 // Query returns the instances of the named event whose [Start, End]
 // interval overlaps [from, to] (inclusive on both ends), ordered by start
 // time. The returned slice is freshly allocated.
-func (s *Store) Query(name string, from, to time.Time) []*event.Instance {
+func (s *Memory) Query(name string, from, to time.Time) []*event.Instance {
 	return s.QueryFunc(name, from, to, nil)
 }
 
 // QueryFunc is Query with an optional location/content filter applied to
 // each candidate. A nil filter accepts everything.
-func (s *Store) QueryFunc(name string, from, to time.Time, keep func(*event.Instance) bool) []*event.Instance {
+func (s *Memory) QueryFunc(name string, from, to time.Time, keep func(*event.Instance) bool) []*event.Instance {
 	mQueries.Inc()
 	s.mu.RLock()
 	idx := s.byName[name]
@@ -304,12 +379,12 @@ func queryScan(idx *nameIndex, from, to time.Time, keep func(*event.Instance) bo
 // QueryAt returns the instances of the named event at the exact location,
 // overlapping the window. This is the common engine fast path for
 // element-level joins.
-func (s *Store) QueryAt(name string, from, to time.Time, loc locus.Location) []*event.Instance {
+func (s *Memory) QueryAt(name string, from, to time.Time, loc locus.Location) []*event.Instance {
 	return s.QueryFunc(name, from, to, func(in *event.Instance) bool { return in.Loc == loc })
 }
 
 // All returns every instance of the named event ordered by start time.
-func (s *Store) All(name string) []*event.Instance {
+func (s *Memory) All(name string) []*event.Instance {
 	s.mu.RLock()
 	idx := s.byName[name]
 	if idx == nil {
@@ -341,7 +416,7 @@ func (s *Store) All(name string) []*event.Instance {
 // the caller resumes with after = out[len(out)-1].ID. This is the
 // pagination primitive behind the HTTP list endpoints: a bounded slice
 // per call instead of one unbounded array for the whole store.
-func (s *Store) ScanAfter(name string, after, limit int) (out []*event.Instance, more bool) {
+func (s *Memory) ScanAfter(name string, after, limit int) (out []*event.Instance, more bool) {
 	if limit <= 0 {
 		return nil, false
 	}
@@ -367,7 +442,7 @@ func (s *Store) ScanAfter(name string, after, limit int) (out []*event.Instance,
 // Span returns the earliest start and latest end across the whole store;
 // ok is false for an empty store. The bounds are maintained incrementally
 // on insert and recomputed on eviction, so this is O(1).
-func (s *Store) Span() (first, last time.Time, ok bool) {
+func (s *Memory) Span() (first, last time.Time, ok bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.live == 0 {
@@ -385,7 +460,7 @@ func (s *Store) Span() (first, last time.Time, ok bool) {
 // (Get reports not found; later IDs are unchanged) and the Span bounds are
 // recomputed so they stay exact. The registered OnEvict hooks, if any, run
 // after the lock is released.
-func (s *Store) EvictBefore(cutoff time.Time) int {
+func (s *Memory) EvictBefore(cutoff time.Time) int {
 	s.mu.Lock()
 	gone := s.evictLocked(cutoff)
 	cbs := s.onEvict
@@ -400,7 +475,7 @@ func (s *Store) EvictBefore(cutoff time.Time) int {
 
 // maybeEvictLocked applies the retention window with 25% slack so the
 // O(n) sweep amortizes over many inserts.
-func (s *Store) maybeEvictLocked() (evicted []*event.Instance, cutoff time.Time) {
+func (s *Memory) maybeEvictLocked() (evicted []*event.Instance, cutoff time.Time) {
 	if s.retention <= 0 || s.live == 0 {
 		return nil, time.Time{}
 	}
@@ -411,7 +486,7 @@ func (s *Store) maybeEvictLocked() (evicted []*event.Instance, cutoff time.Time)
 	return s.evictLocked(cutoff), cutoff
 }
 
-func (s *Store) evictLocked(cutoff time.Time) []*event.Instance {
+func (s *Memory) evictLocked(cutoff time.Time) []*event.Instance {
 	var gone []*event.Instance
 	for i, in := range s.byID {
 		if in != nil && in.End.Before(cutoff) {
@@ -480,7 +555,7 @@ func (s *Store) evictLocked(cutoff time.Time) []*event.Instance {
 // the ID of the first slot (base) and the ID the next insert will receive
 // (next). base..next−1 spans the live IDs plus any interior tombstones;
 // Restore rebuilds exactly this state.
-func (s *Store) Dump() (base, next int, ins []event.Instance) {
+func (s *Memory) Dump() (base, next int, ins []event.Instance) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	base, next = s.base, s.base+len(s.byID)
@@ -499,7 +574,7 @@ func (s *Store) Dump() (base, next int, ins []event.Instance) {
 // and the instances visited are a single consistent cut even with
 // concurrent writers. The callbacks must not retain or mutate the
 // instances, and must not call back into the store.
-func (s *Store) SnapshotTo(header func(base, next, count int) error, each func(*event.Instance) error) error {
+func (s *Memory) SnapshotTo(header func(base, next, count int) error, each func(*event.Instance) error) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if err := header(s.base, s.base+len(s.byID), s.live); err != nil {
@@ -519,7 +594,7 @@ func (s *Store) SnapshotTo(header func(base, next, count int) error, each func(*
 // placed at its recorded ID, interior gaps stay tombstoned, and the next
 // insert receives ID next. It is the snapshot-recovery path; restoring
 // into a non-empty store is an error.
-func (s *Store) Restore(base, next int, ins []event.Instance) error {
+func (s *Memory) Restore(base, next int, ins []event.Instance) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.byID) != 0 || s.base != 0 {

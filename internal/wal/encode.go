@@ -72,9 +72,41 @@ func readString(b []byte) (string, []byte, error) {
 	return string(b[sz : sz+int(n)]), b[sz+int(n):], nil
 }
 
+// appendRecord encodes one segment record: the instance's store ID
+// followed by the instance body. IDs are explicit because a shard of a
+// sharded store sees a sparse subsequence of the global ID space, so a
+// record's position in its shard's log no longer determines its ID.
+func appendRecord(b []byte, in *event.Instance) []byte {
+	b = binary.AppendUvarint(b, uint64(in.ID))
+	return appendInstance(b, in)
+}
+
+// recordID reads just the leading ID of a segment record — what the
+// recovery frame scan needs to decide skip-or-replay without paying for
+// a full decode.
+func recordID(p []byte) (int, error) {
+	id, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return 0, fmt.Errorf("wal: truncated record ID")
+	}
+	return int(id), nil
+}
+
+// decodeRecord decodes a segment record into the instance it stores,
+// with its ID set.
+func decodeRecord(p []byte) (event.Instance, error) {
+	id, sz := binary.Uvarint(p)
+	if sz <= 0 {
+		return event.Instance{}, fmt.Errorf("wal: truncated record ID")
+	}
+	in, err := decodeInstance(p[sz:])
+	in.ID = int(id)
+	return in, err
+}
+
 // appendInstance encodes one event instance (without its store ID — the
-// ID is implied by the record's position in the log). Attribute keys are
-// sorted so the encoding is deterministic.
+// record and snapshot encoders prefix the ID themselves). Attribute keys
+// are sorted so the encoding is deterministic.
 func appendInstance(b []byte, in *event.Instance) []byte {
 	b = appendString(b, in.Name)
 	b = binary.AppendVarint(b, in.Start.UnixNano())
@@ -154,14 +186,15 @@ func decodeInstance(p []byte) (event.Instance, error) {
 // what Append will write for it. Exposed for tests that compute committed
 // prefixes around byte-level cuts.
 func encodedSize(in *event.Instance) int {
-	return frameHeader + len(appendInstance(nil, in))
+	return frameHeader + len(appendRecord(nil, in))
 }
 
 // StoreDigest returns a hex SHA-256 over the store's full dumped state —
 // ID bounds plus every live instance in canonical encoding. Two stores
 // with equal digests hold byte-identical event data; it is the
-// equivalence check behind the crash-recovery guarantees.
-func StoreDigest(st *store.Store) string {
+// equivalence check behind the crash-recovery guarantees. It accepts any
+// Store, so a merged Sharded dump digests comparably to a single Memory.
+func StoreDigest(st store.Store) string {
 	base, next, ins := st.Dump()
 	h := sha256.New()
 	var buf []byte

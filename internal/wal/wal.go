@@ -8,16 +8,18 @@
 //
 // # Layout and invariants
 //
-//	<dir>/wal/seg-<firstID>.log    framed records, IDs consecutive from firstID
+//	<dir>/wal/seg-<firstID>.log    framed records, IDs ascending from firstID
 //	<dir>/snap/snap-<nextID>.snap  full store dump covering IDs < nextID
 //
-// A record's sequence number IS its store ID: the store assigns IDs
-// densely in insertion order and the log observes every insert through
-// the store's append hook, so position in the log and store ID never
-// disagree. Recovery restores the newest readable snapshot, then replays
-// exactly the records with ID ≥ the snapshot's next-ID. A torn final
-// record (crash mid-write) is truncated, not fatal: the recovered store
-// is the longest committed prefix of the log. Snapshots make the segments
+// Every record carries its store ID explicitly: one Log serves one
+// Memory shard, and under a sharded store a shard holds a sparse,
+// strictly ascending subsequence of the global ID space, so position in
+// the log cannot determine the ID. The log observes every insert through
+// the store's append hook and rejects any ID regression. Recovery
+// restores the newest readable snapshot, then replays exactly the
+// records with ID ≥ the snapshot's next-ID. A torn final record (crash
+// mid-write) is truncated, not fatal: the recovered store is the longest
+// committed prefix of the log. Snapshots make the segments
 // below them redundant, so Snapshot deletes them — with the store's
 // retention eviction triggering snapshots, disk usage stays bounded the
 // same way the store's window bounds memory.
@@ -149,17 +151,18 @@ type Recovery struct {
 type Log struct {
 	dir  string
 	opts Options
-	st   *store.Store
+	st   *store.Memory
 
 	mu         sync.Mutex
 	buf        []byte // framed records awaiting write
 	bufStarts  []int  // byte offset in buf where each pending record begins
+	bufIDs     []int  // store ID of each pending record (for segment naming)
 	scratch    []byte
 	bufRecords int
 	seg        *os.File
 	segPath    string
 	segBytes   int64
-	nextSeq    int // ID the next appended record will carry
+	nextSeq    int // lowest ID the next appended record may carry
 	snapNext   int // next-ID covered by the latest durable snapshot
 	sinceSnap  int // records committed since that snapshot
 	closed     bool
@@ -181,7 +184,7 @@ type Log struct {
 // Open recovers the log under dir into a fresh store and returns both,
 // with the store's append hook attached so every subsequent insert is
 // logged. dir is created as needed.
-func Open(dir string, opts Options) (*Log, *store.Store, Recovery, error) {
+func Open(dir string, opts Options) (*Log, *store.Memory, Recovery, error) {
 	opts.defaults()
 	for _, sub := range []string{walDir(dir), snapDir(dir)} {
 		if err := os.MkdirAll(sub, 0o755); err != nil {
@@ -208,7 +211,7 @@ func Open(dir string, opts Options) (*Log, *store.Store, Recovery, error) {
 }
 
 // Store returns the store the log recovers into and observes.
-func (l *Log) Store() *store.Store { return l.st }
+func (l *Log) Store() *store.Memory { return l.st }
 
 // record is the store append hook: it frames the instance into the
 // pending buffer. Called under the store's write lock, so it only
@@ -219,19 +222,22 @@ func (l *Log) record(in *event.Instance) {
 	if l.closed {
 		return
 	}
-	if in.ID != l.nextSeq {
+	if in.ID < l.nextSeq {
 		// The store and log disagree on IDs — a second writer bypassed
-		// recovery. Poison the log rather than persist a corrupt order.
+		// recovery, or IDs regressed. Poison the log rather than persist
+		// a corrupt order. (IDs above nextSeq are legal: a shard of a
+		// sharded store skips the IDs other shards were allocated.)
 		if l.err == nil {
-			l.err = fmt.Errorf("wal: append ID %d, log expects %d", in.ID, l.nextSeq)
+			l.err = fmt.Errorf("wal: append ID %d, log expects ≥ %d", in.ID, l.nextSeq)
 		}
 		return
 	}
-	l.scratch = appendInstance(l.scratch[:0], in)
+	l.scratch = appendRecord(l.scratch[:0], in)
 	l.bufStarts = append(l.bufStarts, len(l.buf))
+	l.bufIDs = append(l.bufIDs, in.ID)
 	l.buf = appendFrame(l.buf, l.scratch)
 	l.bufRecords++
-	l.nextSeq++
+	l.nextSeq = in.ID + 1
 	mAppends.Inc()
 	mPendingBytes.Set(int64(len(l.buf)))
 }
@@ -367,11 +373,10 @@ func (l *Log) flushLocked(sync bool, began time.Time) error {
 		}
 		return len(l.buf)
 	}
-	first := l.nextSeq - l.bufRecords
 	written, off := 0, 0
 	for written < l.bufRecords {
 		if l.seg == nil || l.segBytes >= l.opts.SegmentBytes {
-			if err := l.rotateAtLocked(first + written); err != nil {
+			if err := l.rotateAtLocked(l.bufIDs[written]); err != nil {
 				l.err = err
 				return err
 			}
@@ -401,6 +406,7 @@ func (l *Log) flushLocked(sync bool, began time.Time) error {
 	l.sinceSnap += l.bufRecords
 	l.buf = l.buf[:0]
 	l.bufStarts = l.bufStarts[:0]
+	l.bufIDs = l.bufIDs[:0]
 	l.bufRecords = 0
 	mCommits.Inc()
 	mPendingBytes.Set(0)
@@ -548,18 +554,18 @@ func (l *Log) recover() (Recovery, error) {
 			rec.DroppedSegments++
 			continue
 		}
-		seq := firsts[i]
-		if seq > expected {
-			return rec, fmt.Errorf("wal: segment %s starts at ID %d, expected ≤ %d (missing segment?)", path, seq, expected)
+		if firsts[i] < 0 {
+			return rec, fmt.Errorf("wal: segment %s has a negative first ID", path)
 		}
 		data, err := os.ReadFile(path)
 		if err != nil {
 			return rec, err
 		}
 		// Replay in three stages: a sequential frame scan (CRC checks,
-		// torn-tail detection), parallel record decoding, and sequential
-		// in-order store applies — so the recovered store is byte-identical
-		// for any worker count.
+		// torn-tail detection, skip-or-replay by the record's explicit
+		// ID), parallel record decoding, and sequential in-order store
+		// applies — so the recovered store is byte-identical for any
+		// worker count.
 		type pendRec struct {
 			seq     int
 			payload []byte
@@ -567,6 +573,8 @@ func (l *Log) recover() (Recovery, error) {
 		var pend []pendRec
 		off := int64(0)
 		rest := data
+		prev := -1
+		lastEnd = firsts[i] // empty segment: append resumes at its name
 		for len(rest) > 0 {
 			payload, r2, ok := readFrame(rest)
 			if !ok {
@@ -578,16 +586,23 @@ func (l *Log) recover() (Recovery, error) {
 				}
 				break
 			}
-			if seq >= expected {
-				pend = append(pend, pendRec{seq, payload})
+			id, err := recordID(payload)
+			if err != nil {
+				return rec, fmt.Errorf("wal: %s: %v", path, err)
 			}
-			seq++
+			if id <= prev {
+				return rec, fmt.Errorf("wal: %s record ID %d not ascending (previous %d)", path, id, prev)
+			}
+			prev = id
+			if id >= expected {
+				pend = append(pend, pendRec{id, payload})
+			}
 			off += int64(frameHeader + len(payload))
 			rest = r2
 		}
 		ins := make([]event.Instance, len(pend))
 		err = parallelIndexed(len(pend), l.opts.replayWorkers(), func(i int) error {
-			in, err := decodeInstance(pend[i].payload)
+			in, err := decodeRecord(pend[i].payload)
 			if err != nil {
 				// Framing intact but the payload is gibberish — not a
 				// torn write, refuse to guess.
@@ -600,14 +615,15 @@ func (l *Log) recover() (Recovery, error) {
 			return rec, err
 		}
 		for i := range ins {
-			stored := l.st.Add(ins[i])
-			if stored.ID != pend[i].seq {
-				return rec, fmt.Errorf("wal: %s replayed record %d got store ID %d", path, pend[i].seq, stored.ID)
+			if _, err := l.st.Put(ins[i]); err != nil {
+				return rec, fmt.Errorf("wal: %s replay record %d: %v", path, pend[i].seq, err)
 			}
 			rec.Replayed++
 			expected = pend[i].seq + 1
 		}
-		lastEnd = seq
+		if prev >= 0 {
+			lastEnd = prev + 1
+		}
 	}
 	l.nextSeq = expected
 	l.snapNext = rec.SnapshotNext

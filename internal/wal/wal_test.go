@@ -106,6 +106,9 @@ func TestCrashRecoveryProperty(t *testing.T) {
 	sizes := make([]int, len(ins))
 	total := 0
 	for i := range ins {
+		// Records encode their store ID, so sizes depend on the IDs
+		// AddAll will assign below.
+		ins[i].ID = i
 		sizes[i] = encodedSize(&ins[i])
 		total += sizes[i]
 	}
