@@ -125,4 +125,3 @@ func enumerateLocations(sys *platform.System) []locus.Location {
 	}
 	return out
 }
-

@@ -138,6 +138,14 @@ func (s *Server) shardOf(loc locus.Location) int {
 // the batch's first event; replaying the merged journals in sequence
 // order re-allocates the same IDs to the same events.
 func (s *Server) dispatchEvents(t *task) (*batch, taskResult) {
+	// An empty batch has no first event to own the journal record and
+	// nothing to commit. Handlers reject these before dispatch, but guard
+	// here too: reaching routes[0] on an empty slice would panic under
+	// dispatchMu after consuming a sequence number the finisher never
+	// sees, wedging every later waitFinisher.
+	if len(t.events) == 0 {
+		return nil, errResult(http.StatusBadRequest, "empty event batch")
+	}
 	n := len(s.shards)
 	routes := make([]int, len(t.events))
 	perShard := make([]int, n)
@@ -167,6 +175,19 @@ func (s *Server) dispatchEvents(t *task) (*batch, taskResult) {
 		}
 	}
 	mQueueDepth.Set(int64(depth))
+	// The finisher's backlog gates admission too: committed batches sit
+	// in finishQ until the streaming processors catch up, and the send
+	// below happens under dispatchMu, so it must never block. Only
+	// admission (under this lock) sends to finishQ and the finisher only
+	// receives, so a vacancy observed here is still there at the send.
+	if len(s.finishQ) == cap(s.finishQ) {
+		mRejected.Inc()
+		return nil, taskResult{
+			status:     http.StatusTooManyRequests,
+			err:        fmt.Errorf("ingest pipeline backlogged, retry later"),
+			retryAfter: 1 + (3*(depth+len(s.finishQ)))/max(capacity+cap(s.finishQ), 1),
+		}
+	}
 
 	seq := s.seq
 	s.seq++
@@ -195,7 +216,7 @@ func (s *Server) dispatchEvents(t *task) (*batch, taskResult) {
 		st.events = append(st.events, ev)
 		st.pos = append(st.pos, j)
 	}
-	owner := routes[0] // handlers reject empty batches before dispatch
+	owner := routes[0] // non-empty: guarded at the top
 	subs[owner].jrec = encodeRecord(seq, t.kind, "", t.raw)
 	for i, st := range subs {
 		if st != nil {
@@ -216,6 +237,18 @@ func (s *Server) dispatchEvents(t *task) (*batch, taskResult) {
 func (s *Server) dispatchFeed(t *task) (*batch, taskResult) {
 	if s.isFinalized() {
 		return nil, errResult(http.StatusConflict, "feeds are closed: the system is finalized (use events)")
+	}
+	// Feeds reply through finishQ too; refuse while the finisher is
+	// saturated so the send at the end can never block under dispatchMu.
+	// (Finalize needs no such gate: waitFinisher drains finishQ first.)
+	if len(s.finishQ) == cap(s.finishQ) {
+		mRejected.Inc()
+		depth, capacity := s.queueTotals()
+		return nil, taskResult{
+			status:     http.StatusTooManyRequests,
+			err:        fmt.Errorf("ingest pipeline backlogged, retry later"),
+			retryAfter: 1 + (3*(depth+len(s.finishQ)))/max(capacity+cap(s.finishQ), 1),
+		}
 	}
 	s.barrier()
 	seq := s.seq

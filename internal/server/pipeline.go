@@ -335,12 +335,17 @@ func shardDir(dataDir string, n, i int) string {
 // checkShardMarker binds the data directory to its shard count: the
 // journals' sequence interleave and per-shard event placement are
 // functions of N, so reopening with a different N would replay into the
-// wrong shards. Pre-sharding directories (journal present, no marker)
-// are adopted as single-shard.
+// wrong shards. Pre-sharding directories (journal or WAL present, no
+// marker) are adopted as single-shard only — stamping one with n>1
+// would orphan its root-level state under the shard-<i>/ layout.
 func checkShardMarker(dataDir string, n int) error {
 	path := filepath.Join(dataDir, "SHARDS")
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
+		if n != 1 && legacyLayout(dataDir) {
+			return fmt.Errorf("server: data dir %s holds a pre-sharding single-shard layout, opened with %d shards (resharding is not supported)",
+				dataDir, n)
+		}
 		return os.WriteFile(path, []byte(strconv.Itoa(n)+"\n"), 0o644)
 	}
 	if err != nil {
@@ -355,6 +360,18 @@ func checkShardMarker(dataDir string, n int) error {
 			dataDir, have, n)
 	}
 	return nil
+}
+
+// legacyLayout reports whether dataDir carries pre-sharding state at its
+// root: an ingest journal or a WAL segment directory.
+func legacyLayout(dataDir string) bool {
+	if _, err := os.Stat(journalPath(dataDir)); err == nil {
+		return true
+	}
+	if _, err := os.Stat(filepath.Join(dataDir, "wal")); err == nil {
+		return true
+	}
+	return false
 }
 
 // Open recovers (or initializes) the service under cfg.DataDir.
@@ -395,17 +412,32 @@ func Open(cfg Config) (*Server, error) {
 		}(i)
 	}
 	wg.Wait()
+	// Until the pipeline goroutines take ownership at the very end, every
+	// open log and journal is ours: close them all on any error path so a
+	// failed Open leaks neither file handles nor fsync goroutines.
+	var shards []*shard
+	opened := false
+	defer func() {
+		if opened {
+			return
+		}
+		for i := range ws {
+			if ws[i].log != nil {
+				ws[i].log.Close() //nolint:errcheck // being discarded
+			}
+		}
+		for _, sh := range shards {
+			if sh != nil {
+				sh.jour.Close() //nolint:errcheck // being discarded
+			}
+		}
+	}()
 
 	// Replay the merged ingest journals through a scratch pipeline to
 	// rebuild collector state; its per-shard stores double as the
 	// cross-check against the WAL-recovered shards.
 	rep, err := replayJournals(cfg, topo)
 	if err != nil {
-		for i := range ws {
-			if ws[i].log != nil {
-				ws[i].log.Close() //nolint:errcheck // being discarded
-			}
-		}
 		return nil, err
 	}
 	rebuilt := false
@@ -418,6 +450,7 @@ func Open(cfg Config) (*Server, error) {
 		// prefix.
 		if ws[i].log != nil {
 			ws[i].log.Close() //nolint:errcheck // being discarded
+			ws[i].log = nil
 		}
 		dir := shardDir(cfg.DataDir, n, i)
 		for _, sub := range []string{"wal", "snap"} {
@@ -429,6 +462,7 @@ func Open(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
+		ws[i] = walState{l, st, nil}
 		base, next, ins := rep.shards[i].Dump()
 		if err := st.Restore(base, next, ins); err != nil {
 			return nil, fmt.Errorf("server: rebuilding shard %d from journal: %v", i, err)
@@ -436,7 +470,6 @@ func Open(cfg Config) (*Server, error) {
 		if err := l.Snapshot(); err != nil {
 			return nil, err
 		}
-		ws[i] = walState{l, st, nil}
 		rebuilt = true
 		mRebuilt.Inc()
 	}
@@ -454,7 +487,7 @@ func Open(cfg Config) (*Server, error) {
 	coll := rep.coll
 	coll.Store = st
 
-	shards := make([]*shard, n)
+	shards = make([]*shard, n)
 	for i := range shards {
 		jour, err := wal.OpenJournal(journalPath(shardDir(cfg.DataDir, n, i)))
 		if err != nil {
@@ -505,6 +538,7 @@ func Open(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	opened = true
 	for i := range shards {
 		go s.applier(shards[i])
 	}

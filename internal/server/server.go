@@ -122,6 +122,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			}
 			t = task{kind: recFeed, source: b.Source, lines: []byte(b.Lines)}
 		case wire.KindEvents:
+			if len(b.Events) == 0 {
+				writeErr(w, http.StatusBadRequest, "empty event batch")
+				return
+			}
 			// The verbatim request bytes are the journal record: replay
 			// re-decodes them, so the store recovers byte-identically
 			// without a JSON round-trip.

@@ -335,6 +335,34 @@ func TestShardCountPinned(t *testing.T) {
 	}
 }
 
+// TestLegacyLayoutRefusesSharding: a pre-sharding data directory (state
+// at the root, no SHARDS marker) is adopted as single-shard only.
+// Opening it with more shards must refuse up front — stamping a
+// multi-shard marker would silently orphan the root-level journal and
+// WAL under the shard-<i>/ layout and pin the directory there.
+func TestLegacyLayoutRefusesSharding(t *testing.T) {
+	_, b := testBundle(t)
+	dir := t.TempDir()
+	before := driveLifecycle(t, dir, b, 1)
+	// Simulate a directory created before the marker existed.
+	if err := os.Remove(filepath.Join(dir, "SHARDS")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{DataDir: dir, Bundle: b, Shards: 4}); err == nil {
+		t.Fatal("opening a legacy single-shard dir with 4 shards succeeded")
+	}
+	// The refusal must not have stamped a marker: single-shard adoption
+	// still recovers the full state.
+	s, err := Open(Config{DataDir: dir, Bundle: b, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Shutdown(context.Background()) //nolint:errcheck // test teardown
+	if got := wal.StoreDigest(s.Store()); got != before.digest {
+		t.Fatal("single-shard adoption of a legacy dir changed the store digest")
+	}
+}
+
 // TestShardedTornJournalTail: a torn frame at the tail of one shard's
 // journal (the batch never acknowledged) must truncate deterministically
 // and leave a consistent, digest-stable store behind.

@@ -147,6 +147,13 @@ func TestWireIngestValidation(t *testing.T) {
 	if code, _ := postWire(t, ts, truncated[:len(truncated)-1]); code != http.StatusBadRequest {
 		t.Fatalf("truncated wire body: %d, want 400", code)
 	}
+	// An empty-but-well-formed event batch must be rejected like the JSON
+	// path rejects it — dispatching it used to panic on routes[0] under
+	// dispatchMu and wedge the whole write path (Shutdown below would
+	// hang).
+	if code, _ := postWire(t, ts, wire.AppendEvents(nil, nil)); code != http.StatusBadRequest {
+		t.Fatalf("empty wire event batch: %d, want 400", code)
+	}
 	ts.Close()
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatal(err)
