@@ -7,7 +7,11 @@
 //
 //	grca-load -addr http://localhost:8080 -bundle /tmp/corpus \
 //	  [-events 200000] [-batch 500] [-c 4] [-wire json|binary] \
-//	  [-o BENCH_SERVE.json]
+//	  [-read-from http://replica:8081] [-o BENCH_SERVE.json]
+//
+// With -read-from, a reader loops the probe path at the replica while
+// the write stream runs, and the report carries both endpoints' read
+// latency percentiles.
 package main
 
 import (
@@ -48,19 +52,25 @@ func main() {
 	probe := flag.String("probe", "", "after streaming, GET this path repeatedly and report latency percentiles")
 	probes := flag.Int("probes", 200, "probe request count with -probe")
 	wireMode := flag.String("wire", "json", "ingest encoding: json or binary (the compact wire batch format)")
+	readFrom := flag.String("read-from", "",
+		"base URL of a read replica: the -probe path is hammered there while the write stream runs, "+
+			"and both endpoints' read latency percentiles land in the report (default probe: /v1/breakdown?app=bgpflap)")
 	flag.Parse()
 
 	if *wireMode != "json" && *wireMode != "binary" {
 		fmt.Fprintf(os.Stderr, "grca-load: -wire must be json or binary, got %q\n", *wireMode)
 		os.Exit(1)
 	}
-	if err := run(*addr, *bundleDir, *events, *batch, *workers, *out, *probe, *probes, *wireMode == "binary"); err != nil {
+	if *readFrom != "" && *probe == "" {
+		*probe = "/v1/breakdown?app=bgpflap"
+	}
+	if err := run(*addr, *bundleDir, *events, *batch, *workers, *out, *probe, *probes, *wireMode == "binary", *readFrom); err != nil {
 		fmt.Fprintf(os.Stderr, "grca-load: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, bundleDir string, events, batchSize, workers int, out, probe string, probes int, binary bool) error {
+func run(addr, bundleDir string, events, batchSize, workers int, out, probe string, probes int, binary bool, readFrom string) error {
 	contentType := "application/json"
 	if binary {
 		contentType = wire.ContentType
@@ -157,6 +167,43 @@ func run(addr, bundleDir string, events, batchSize, workers int, out, probe stri
 	if err != nil {
 		return err
 	}
+	// Replica read mix: while the write stream hammers the primary, one
+	// reader loops the probe path at the replica. Non-200s (still
+	// bootstrapping, not yet finalized) count as unready rather than
+	// failing the run — replication lag is the thing being measured.
+	var replicaLat []float64
+	var replicaUnready int
+	stopReads := make(chan struct{})
+	var readWG sync.WaitGroup
+	if readFrom != "" {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			url := readFrom + probe
+			for {
+				select {
+				case <-stopReads:
+					return
+				default:
+				}
+				reqBegan := time.Now()
+				resp, err := http.Get(url)
+				if err != nil {
+					replicaUnready++
+					time.Sleep(100 * time.Millisecond)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					replicaUnready++
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+				replicaLat = append(replicaLat, float64(time.Since(reqBegan).Microseconds())/1000)
+			}
+		}()
+	}
 	// Location names repeat mod 64: precompute them so the generator does
 	// not spend the shared CPU formatting strings per event.
 	names := make([]string, 64)
@@ -202,6 +249,8 @@ func run(addr, bundleDir string, events, batchSize, workers int, out, probe stri
 	close(batches)
 	wg.Wait()
 	elapsed := time.Since(began)
+	close(stopReads)
+	readWG.Wait()
 
 	mode := "json"
 	if binary {
@@ -237,6 +286,23 @@ func run(addr, bundleDir string, events, batchSize, workers int, out, probe stri
 	}
 	fmt.Fprintf(os.Stderr, "grca-load: ingest latency p50=%.2fms p95=%.2fms p99=%.2fms over %d requests\n",
 		pct(0.50), pct(0.95), pct(0.99), len(allLat))
+	if readFrom != "" {
+		sort.Float64s(replicaLat)
+		rpct := func(q float64) float64 {
+			if len(replicaLat) == 0 {
+				return 0
+			}
+			return replicaLat[int(q*float64(len(replicaLat)-1))]
+		}
+		report["read_from"] = readFrom
+		report["replica_reads"] = len(replicaLat)
+		report["replica_reads_unready"] = replicaUnready
+		report["replica_read_p50_ms"] = rpct(0.50)
+		report["replica_read_p95_ms"] = rpct(0.95)
+		report["replica_read_p99_ms"] = rpct(0.99)
+		fmt.Fprintf(os.Stderr, "grca-load: replica read latency p50=%.2fms p95=%.2fms p99=%.2fms over %d requests (%d unready)\n",
+			rpct(0.50), rpct(0.95), rpct(0.99), len(replicaLat), replicaUnready)
+	}
 	if probe != "" {
 		p50, p99, err := probeLatency(addr+probe, probes)
 		if err != nil {
@@ -247,6 +313,16 @@ func run(addr, bundleDir string, events, batchSize, workers int, out, probe stri
 		report["probe_p99_ms"] = p99
 		fmt.Fprintf(os.Stderr, "grca-load: probe %s p50=%.2fms p99=%.2fms over %d requests\n",
 			probe, p50, p99, probes)
+		if readFrom != "" {
+			p50, p99, err := probeLatency(readFrom+probe, probes)
+			if err != nil {
+				return fmt.Errorf("replica probe %s: %v", probe, err)
+			}
+			report["replica_probe_p50_ms"] = p50
+			report["replica_probe_p99_ms"] = p99
+			fmt.Fprintf(os.Stderr, "grca-load: replica probe %s p50=%.2fms p99=%.2fms over %d requests\n",
+				probe, p50, p99, probes)
+		}
 	}
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

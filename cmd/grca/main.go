@@ -71,6 +71,8 @@ func main() {
 		err = runChaos(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "promote":
+		err = runPromote(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -94,7 +96,8 @@ func usage() {
   grca graph <bgpflap|cdn|pim|backbone>            # Graphviz DOT of the diagnosis graph
   grca report <bgpflap|cdn|pim|backbone> -data DIR # full SQM report (breakdown, trend, drill-downs)
   grca chaos -data DIR [-seed N] [-faults LIST] [-apps LIST] [-o FILE]  # fault-injection accuracy matrix (JSON)
-  grca serve -data-dir DIR -bundle DIR [-addr :8080] [-fsync batch|interval] [-snapshot-every N] [-retention DUR] [-max-inflight N]`)
+  grca serve -data-dir DIR -bundle DIR [-addr :8080] [-fsync batch|interval] [-snapshot-every N] [-retention DUR] [-max-inflight N] [-replica-of URL]
+  grca promote -addr URL                 # flip a running replica into a standalone primary`)
 }
 
 type app struct {

@@ -2,10 +2,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +40,13 @@ func runServe(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "",
 		"serve expvar/pprof on a dedicated address (e.g. :6060); "+
 			"when unset, the same handlers are mounted on the main -addr under /debug/")
+	replicaOf := fs.String("replica-of", "",
+		"run as a live read replica of the primary at this base URL (e.g. http://primary:8080); "+
+			"writes are redirected there until `grca promote`")
+	replicaGrace := fs.Duration("replica-grace", 0,
+		"primary-side WAL retention grace for detached replicas (0 = default)")
+	replicaPoll := fs.Duration("replica-poll", 0,
+		"primary-side shipping poll interval (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +82,9 @@ func runServe(args []string) error {
 		RequestTimeout: *timeout,
 		LegacyParsers:  *legacyParsers,
 		ReplayWorkers:  *replayWorkers,
+		ReplicaOf:      *replicaOf,
+		ReplicaGrace:   *replicaGrace,
+		ReplicaPoll:    *replicaPoll,
 		// No dedicated metrics listener: expose /debug/ on the main
 		// address so a single-port deployment still has expvar/pprof.
 		Debug: *metricsAddr == "",
@@ -88,6 +102,9 @@ func runServe(args []string) error {
 		fmt.Fprint(os.Stderr, "; WAL rebuilt from journal")
 	}
 	fmt.Fprintln(os.Stderr, ")")
+	if *replicaOf != "" {
+		fmt.Fprintf(os.Stderr, "serve: replica of %s — writes redirect to the primary until promotion\n", *replicaOf)
+	}
 
 	bound, err := s.Start(*addr)
 	if err != nil {
@@ -105,5 +122,51 @@ func runServe(args []string) error {
 		return fmt.Errorf("serve: shutdown: %v", err)
 	}
 	fmt.Fprintln(os.Stderr, "serve: stopped cleanly")
+	return nil
+}
+
+// runPromote flips a running replica into a standalone primary: it
+// seals the replication streams, finishes replay, reopens through the
+// normal recovery path (whose journal-vs-WAL reconcile verifies the
+// shipped state), and reports the promoted node's per-shard digests.
+func runPromote(args []string) error {
+	fs := flag.NewFlagSet("promote", flag.ExitOnError)
+	addr := fs.String("addr", "", "base URL of the replica to promote (e.g. http://127.0.0.1:8081; required)")
+	timeout := fs.Duration("timeout", 5*time.Minute, "how long to wait for the promotion replay")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("promote: -addr is required")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(*addr, "/")+"/v1/replication/promote", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("promote: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("promote: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var info server.PromoteInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		return fmt.Errorf("promote: bad response: %v", err)
+	}
+	fmt.Printf("promoted: role=%s boot=%s applied_seq=%d\n", info.Role, info.BootID, info.AppliedSeq)
+	fmt.Printf("recovered %d batches, %d events (finalized=%v, wal_rebuilt=%v)\n",
+		info.Recovery.Batches, info.Recovery.Events, info.Recovery.Finalized, info.Recovery.WALRebuilt)
+	for i, d := range info.Digests {
+		fmt.Printf("shard %d digest %s\n", i, d)
+	}
 	return nil
 }

@@ -60,11 +60,23 @@ const (
 	// batches are lost and re-delivered after recovery, and the recovered
 	// store must come back byte-identical.
 	FaultCrashRestart Fault = "crash-restart"
+	// FaultReplicaLag stalls a read replica's WAL-shipping stream once
+	// LagFraction of the corpus has shipped (exercised by ReplicaReplay;
+	// feed text is unaffected): the follower serves a consistent stale
+	// prefix until the stream resumes, and the healed state must be
+	// byte-identical to the primary.
+	FaultReplicaLag Fault = "replica-lag"
+	// FaultPartition severs the replication connection at seeded byte
+	// offsets — usually mid-frame — PartitionCount times (exercised by
+	// ReplicaReplay): each reconnect resumes from the follower's
+	// frontier through the torn-frame discard path, and the healed
+	// state must be byte-identical to the primary.
+	FaultPartition Fault = "partition"
 )
 
 // AllFaults lists every fault class in canonical order.
 func AllFaults() []Fault {
-	return []Fault{FaultSkew, FaultReorder, FaultDuplicate, FaultTruncate, FaultDropSource, FaultDelay, FaultCrashRestart}
+	return []Fault{FaultSkew, FaultReorder, FaultDuplicate, FaultTruncate, FaultDropSource, FaultDelay, FaultCrashRestart, FaultReplicaLag, FaultPartition}
 }
 
 // Bounds documents the maximum top-cause accuracy drop (absolute, on the
@@ -79,6 +91,8 @@ var Bounds = map[Fault]float64{
 	FaultDropSource:   0.35, // a whole evidence feed gone degrades its dependent classes
 	FaultDelay:        0.15, // forced/late diagnoses run on incomplete evidence
 	FaultCrashRestart: 0.0,  // recovery is byte-identical, so diagnoses must not move at all
+	FaultReplicaLag:   0.0,  // lag delays visibility only: the healed follower is byte-identical
+	FaultPartition:    0.0,  // torn frames never decode; reconnects re-ship, converging byte-identical
 }
 
 // DefaultDroppable lists the sources FaultDropSource picks from when
@@ -135,6 +149,13 @@ type Config struct {
 	// loses and re-delivers.
 	CrashCount int
 	CrashBatch int
+
+	// LagFraction is where the replica-lag scenario stalls the shipping
+	// stream, as a fraction of the corpus (default 0.6); PartitionCount
+	// is how many seeded mid-stream connection cuts the partition
+	// scenario inflicts before healing (default 3).
+	LagFraction    float64
+	PartitionCount int
 }
 
 func (c *Config) defaults() {
@@ -170,6 +191,12 @@ func (c *Config) defaults() {
 	}
 	if c.CrashBatch == 0 {
 		c.CrashBatch = 256
+	}
+	if c.LagFraction == 0 {
+		c.LagFraction = 0.6
+	}
+	if c.PartitionCount == 0 {
+		c.PartitionCount = 3
 	}
 }
 

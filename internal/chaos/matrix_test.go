@@ -125,6 +125,21 @@ func TestScenarioMatrix(t *testing.T) {
 			if scen.Redelivered == 0 {
 				t.Error("crash-restart scenario lost (and redelivered) no uncommitted events")
 			}
+		case chaos.FaultReplicaLag:
+			if scen.StaleFrontier <= 0 || scen.StaleFrontier >= scen.Total {
+				t.Errorf("replica-lag stalled at frontier %d of %d — no stale window to serve from",
+					scen.StaleFrontier, scen.Total)
+			}
+			if !scen.DigestMatch {
+				t.Error("healed replica was not byte-identical to the primary after lag")
+			}
+		case chaos.FaultPartition:
+			if scen.Reconnects == 0 {
+				t.Error("partition scenario severed no connections")
+			}
+			if !scen.DigestMatch {
+				t.Error("healed replica was not byte-identical to the primary after partitions")
+			}
 		}
 	}
 }

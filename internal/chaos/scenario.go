@@ -78,7 +78,17 @@ type Scenario struct {
 	// DigestMatch this asserts the Result Browser aggregates survive a
 	// kill -9 restart exactly.
 	BreakdownMatch bool `json:",omitempty"`
-	Apps           []AppScore
+	// StaleFrontier/Total/Reconnects/Torn are set by the replication
+	// scenarios (replica-lag, partition): the record frontier the
+	// lagging follower was serving reads at, the primary's record
+	// count, stream re-establishments, and deliveries cut mid-frame.
+	// DigestMatch then reports the post-heal follower-vs-primary
+	// comparison.
+	StaleFrontier int `json:",omitempty"`
+	Total         int `json:",omitempty"`
+	Reconnects    int `json:",omitempty"`
+	Torn          int `json:",omitempty"`
+	Apps          []AppScore
 }
 
 // Report is the harness's machine-readable output. Every field is a pure
@@ -208,6 +218,34 @@ func RunMatrix(b platform.Bundle, cfg Config, opts Options) (*Report, error) {
 				if !bytes.Equal(got, want) {
 					scen.BreakdownMatch = false
 				}
+				sc := AppScore{App: a.Name, Symptoms: len(ds),
+					Score: Score(b.Truth, a.Study, ds, opts.Tolerance)}
+				sc.AccuracyDrop = cleanAcc[a.Name] - sc.Score.Accuracy
+				scen.Apps = append(scen.Apps, sc)
+			}
+			rep.Scenarios = append(rep.Scenarios, scen)
+			continue
+		}
+
+		if f == FaultReplicaLag || f == FaultPartition {
+			// Replication faults perturb the shipping stream, not the
+			// feed text: replay the clean corpus through the real
+			// protocol with seeded stalls/cuts, heal, and diagnose over
+			// the recovered follower — which must be byte-identical, so
+			// the bound is zero, like crash-restart.
+			res, err := inj.ReplicaReplay(cleanSys.Store, f)
+			if err != nil {
+				return nil, err
+			}
+			scen.StaleFrontier, scen.Total = res.StaleFrontier, res.Total
+			scen.Reconnects, scen.Torn = res.Reconnects, res.Torn
+			scen.DigestMatch = res.DigestMatch
+			for _, a := range apps {
+				eng, err := a.NewEngine(res.Store, cleanSys.View)
+				if err != nil {
+					return nil, fmt.Errorf("chaos: %s engine: %v", a.Name, err)
+				}
+				ds := eng.DiagnoseAll()
 				sc := AppScore{App: a.Name, Symptoms: len(ds),
 					Score: Score(b.Truth, a.Study, ds, opts.Tolerance)}
 				sc.AccuracyDrop = cleanAcc[a.Name] - sc.Score.Accuracy

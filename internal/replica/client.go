@@ -1,0 +1,185 @@
+package replica
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"grca/internal/obs"
+	"grca/internal/wal"
+)
+
+var (
+	mReconnects = obs.GetCounter("replica.client.reconnects")
+	mStreamErrs = obs.GetCounter("replica.client.stream.errors")
+)
+
+// ErrFatal wraps a handler error that must stop the stream for good —
+// boot-ID mismatch, protocol violation, local apply failure — instead
+// of reconnecting into the same wall.
+var ErrFatal = errors.New("replica: fatal stream error")
+
+// Fatal marks err as non-retryable for the Client loop.
+func Fatal(err error) error { return fmt.Errorf("%w: %w", ErrFatal, err) }
+
+// Client maintains one replication stream: connect, decode frames,
+// hand each message to Handle, and reconnect with exponential backoff
+// when the stream drops. A clean MsgEOF (primary shutdown, deliberate
+// seal) also reconnects — the primary may come back — unless Handle
+// returned a Fatal error first.
+type Client struct {
+	// URL builds the stream request URL for a given resume point.
+	URL func(from int) string
+	// From returns the resume point at each (re)connect — the follower's
+	// local frontier, so re-shipped records after a crash are minimal.
+	From func() int
+	// Handle applies one message. Wrap the return in Fatal to stop the
+	// loop permanently; any other error reconnects.
+	Handle func(Msg) error
+	// HTTP issues the requests (default http.DefaultClient).
+	HTTP *http.Client
+	// Backoff is the initial reconnect delay (default 100ms), doubling to
+	// MaxBackoff (default 5s). A connection that delivered messages
+	// resets the ladder.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// OnState, when set, observes health transitions: nil after a
+	// successful connect, the error after a failure. Called from the
+	// client goroutine.
+	OnState func(err error)
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+func (c *Client) defaults() {
+	if c.HTTP == nil {
+		c.HTTP = http.DefaultClient
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+}
+
+// Start launches the stream loop. Stop (or a Fatal handler error) ends
+// it; Wait blocks until it is down.
+func (c *Client) Start() {
+	c.defaults()
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.run() // lifecycle: Stop closes c.stop, Wait joins c.done
+}
+
+// Stop asks the loop to exit and interrupts any in-flight read.
+func (c *Client) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+}
+
+// Wait blocks until the loop has exited.
+func (c *Client) Wait() { <-c.done }
+
+func (c *Client) run() {
+	defer close(c.done)
+	backoff := c.Backoff
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		delivered, err := c.once()
+		if err != nil && errors.Is(err, ErrFatal) {
+			mStreamErrs.Inc()
+			if c.OnState != nil {
+				c.OnState(err)
+			}
+			return
+		}
+		if err != nil {
+			mStreamErrs.Inc()
+			if c.OnState != nil {
+				c.OnState(err)
+			}
+		}
+		if delivered {
+			backoff = c.Backoff
+		} else if backoff *= 2; backoff > c.MaxBackoff {
+			backoff = c.MaxBackoff
+		}
+		select {
+		case <-c.stop:
+			return
+		case <-time.After(backoff):
+		}
+		mReconnects.Inc()
+	}
+}
+
+// once runs one connection to exhaustion. delivered reports whether any
+// message arrived (the backoff-reset signal).
+func (c *Client) once() (delivered bool, err error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.URL(c.From()), nil)
+	if err != nil {
+		return false, Fatal(err)
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // drain for reuse
+		return false, fmt.Errorf("replica: stream request: %s", resp.Status)
+	}
+	if c.OnState != nil {
+		c.OnState(nil)
+	}
+
+	// A Stop while blocked in a read must interrupt it: cancel the
+	// request context when stop closes. watchdone gates the watcher's
+	// exit so this function never leaks it.
+	watchdone := make(chan struct{})
+	bodyDone := make(chan struct{})
+	go func() { // lifecycle: joined via watchdone before once returns
+		defer close(watchdone)
+		select {
+		case <-c.stop:
+			cancel()
+		case <-bodyDone:
+		}
+	}()
+	defer func() { close(bodyDone); <-watchdone }()
+
+	r := NewReader(wal.NewFrameReader(resp.Body))
+	for {
+		msg, err := r.Next()
+		if err == io.EOF {
+			return delivered, nil
+		}
+		if err != nil {
+			select {
+			case <-c.stop:
+				return delivered, nil // interrupted read, not a stream fault
+			default:
+			}
+			return delivered, err
+		}
+		delivered = true
+		if msg.Type == MsgEOF {
+			return delivered, nil
+		}
+		if err := c.Handle(msg); err != nil {
+			return delivered, err
+		}
+	}
+}

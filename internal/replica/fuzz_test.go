@@ -1,0 +1,64 @@
+package replica
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"grca/internal/wal"
+)
+
+// FuzzStreamDecode drives the replication stream decoder — WAL framing
+// outside, protocol messages inside — with arbitrary bytes: torn
+// frames, flipped CRCs, truncated segment hand-offs, absurd lengths.
+// The decoder must never panic, never allocate proportionally to a
+// claimed (rather than delivered) size, and must classify every stream
+// as some prefix of messages followed by clean EOF or ErrTornFrame.
+func FuzzStreamDecode(f *testing.F) {
+	// Seed with a well-formed stream of every message type...
+	var good []byte
+	good = AppendHello(good, "boot-fuzz", 4, StreamJournal, 12)
+	good = AppendJournalRec(good, 1, []byte{42, 'r', 'e', 'c'})
+	good = AppendWALRec(good, []byte{9, 'w'})
+	good = AppendSnapBegin(good, 512, 64)
+	good = AppendSnapChunk(good, bytes.Repeat([]byte{0xab}, 64))
+	good = AppendSnapEnd(good)
+	good = AppendHeartbeat(good, 99, []int64{1, 2, 3, 4}, []int{5, 6, 7, 8})
+	good = AppendEOF(good, "seal")
+	f.Add(good)
+	// ...its truncations (torn frames and a mid-payload cut)...
+	f.Add(good[:len(good)-3])
+	f.Add(good[:5])
+	// ...a CRC flip, a huge claimed length, and junk.
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0})
+	f.Add([]byte("not a stream at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(wal.NewFrameReader(bytes.NewReader(data)))
+		msgs := 0
+		for {
+			m, err := r.Next()
+			if err == io.EOF || err == wal.ErrTornFrame {
+				break
+			}
+			if err != nil {
+				// A framed-but-bogus payload: fine, but it must not loop.
+				break
+			}
+			// Parsed fields must stay within the bounds ParseMsg promises.
+			if m.Shards < 0 || m.Shards > maxShards {
+				t.Fatalf("hello shards out of bounds: %d", m.Shards)
+			}
+			if len(m.JournalBytes) > maxShards || len(m.WALNext) > maxShards {
+				t.Fatalf("heartbeat arrays out of bounds: %d/%d", len(m.JournalBytes), len(m.WALNext))
+			}
+			msgs++
+			if msgs > 1<<20 {
+				t.Fatal("decoder emitted over a million messages from a bounded input")
+			}
+		}
+	})
+}

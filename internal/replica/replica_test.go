@@ -1,0 +1,879 @@
+package replica
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"grca/internal/event"
+	"grca/internal/locus"
+	"grca/internal/wal"
+)
+
+var t0 = time.Date(2026, 3, 1, 12, 0, 0, 0, time.UTC)
+
+func inst(id int, name string) event.Instance {
+	return event.Instance{
+		ID:    id,
+		Name:  name,
+		Start: t0.Add(time.Duration(id) * time.Second),
+		End:   t0.Add(time.Duration(id)*time.Second + time.Minute),
+		Loc:   locus.Location{Type: locus.Router, A: fmt.Sprintf("r%d", id%7)},
+		Attrs: map[string]string{"seq": fmt.Sprint(id)},
+	}
+}
+
+// decodeStream parses a full byte stream into messages (deep-copied).
+func decodeStream(t *testing.T, b []byte) []Msg {
+	t.Helper()
+	r := NewReader(wal.NewFrameReader(bytes.NewReader(b)))
+	var out []Msg
+	for {
+		m, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("decode stream: %v (after %d msgs)", err, len(out))
+		}
+		m.Rec = append([]byte(nil), m.Rec...)
+		m.Chunk = append([]byte(nil), m.Chunk...)
+		out = append(out, m)
+	}
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendHello(b, "boot-1", 4, StreamJournal, 17)
+	b = AppendJournalRec(b, 2, []byte("journal-bytes"))
+	b = AppendWALRec(b, []byte{7, 'w'})
+	b = AppendSnapBegin(b, 1000, 12345)
+	b = AppendSnapChunk(b, []byte("chunk"))
+	b = AppendSnapEnd(b)
+	b = AppendHeartbeat(b, 41, []int64{10, 20}, []int{5, 6})
+	b = AppendEOF(b, "done")
+
+	msgs := decodeStream(t, b)
+	if len(msgs) != 8 {
+		t.Fatalf("got %d messages, want 8", len(msgs))
+	}
+	h := msgs[0]
+	if h.Type != MsgHello || h.Ver != ProtocolVersion || h.BootID != "boot-1" ||
+		h.Shards != 4 || h.Stream != StreamJournal || h.From != 17 {
+		t.Fatalf("hello mismatch: %+v", h)
+	}
+	if j := msgs[1]; j.Type != MsgJournalRec || j.Shard != 2 || string(j.Rec) != "journal-bytes" {
+		t.Fatalf("journal rec mismatch: %+v", j)
+	}
+	if w := msgs[2]; w.Type != MsgWALRec || !bytes.Equal(w.Rec, []byte{7, 'w'}) {
+		t.Fatalf("wal rec mismatch: %+v", w)
+	}
+	if s := msgs[3]; s.Type != MsgSnapBegin || s.Next != 1000 || s.Size != 12345 {
+		t.Fatalf("snap begin mismatch: %+v", s)
+	}
+	if c := msgs[4]; c.Type != MsgSnapChunk || string(c.Chunk) != "chunk" {
+		t.Fatalf("snap chunk mismatch: %+v", c)
+	}
+	if msgs[5].Type != MsgSnapEnd {
+		t.Fatalf("snap end mismatch: %+v", msgs[5])
+	}
+	hb := msgs[6]
+	if hb.Type != MsgHeartbeat || hb.Sealed != 41 ||
+		len(hb.JournalBytes) != 2 || hb.JournalBytes[1] != 20 || hb.WALNext[1] != 6 {
+		t.Fatalf("heartbeat mismatch: %+v", hb)
+	}
+	if e := msgs[7]; e.Type != MsgEOF || e.Reason != "done" {
+		t.Fatalf("eof mismatch: %+v", e)
+	}
+}
+
+func TestReaderTornStream(t *testing.T) {
+	var b []byte
+	b = AppendHello(b, "boot", 1, StreamWAL, 0)
+	b = AppendWALRec(b, []byte{1, 2, 3})
+	for cut := 1; cut < len(b); cut++ {
+		r := NewReader(wal.NewFrameReader(bytes.NewReader(b[:cut])))
+		var err error
+		for err == nil {
+			_, err = r.Next()
+		}
+		if err != io.EOF && err != wal.ErrTornFrame {
+			t.Fatalf("cut %d: err = %v, want EOF or ErrTornFrame", cut, err)
+		}
+	}
+	// Flipped byte inside a frame body must surface as a torn frame.
+	bad := append([]byte(nil), b...)
+	bad[len(bad)-2] ^= 0xff
+	r := NewReader(wal.NewFrameReader(bytes.NewReader(bad)))
+	var err error
+	for err == nil {
+		_, err = r.Next()
+	}
+	if err != wal.ErrTornFrame {
+		t.Fatalf("corrupt frame: err = %v, want ErrTornFrame", err)
+	}
+}
+
+func TestRegistryPinAndGrace(t *testing.T) {
+	r := NewRegistry(2, 30*time.Millisecond)
+	if pin := r.PinWAL(0); pin != -1 {
+		t.Fatalf("empty registry pin = %d, want -1", pin)
+	}
+	r.Attach("f1")
+	if pin := r.PinWAL(0); pin != 0 {
+		t.Fatalf("fresh follower pin = %d, want 0 (everything)", pin)
+	}
+	r.NoteWAL("f1", 0, 100)
+	r.NoteWAL("f1", 1, 50)
+	if pin := r.PinWAL(0); pin != 100 {
+		t.Fatalf("shard 0 pin = %d, want 100", pin)
+	}
+	if pin := r.PinWAL(1); pin != 50 {
+		t.Fatalf("shard 1 pin = %d, want 50", pin)
+	}
+	r.Attach("f2")
+	r.NoteWAL("f2", 0, 10)
+	if pin := r.PinWAL(0); pin != 10 {
+		t.Fatalf("two-follower pin = %d, want min 10", pin)
+	}
+	// Disconnect f2: the pin holds through the grace window, then expires.
+	r.Detach("f2")
+	if pin := r.PinWAL(0); pin != 10 {
+		t.Fatalf("graced pin = %d, want 10", pin)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if pin := r.PinWAL(0); pin != 100 {
+		t.Fatalf("post-grace pin = %d, want 100", pin)
+	}
+	st := r.Status()
+	if len(st) != 1 || st[0].ID != "f1" || !st[0].Connected {
+		t.Fatalf("status = %+v, want connected f1 only", st)
+	}
+}
+
+func TestWALSinkWriteScanResume(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenWALSink(dir, 256) // tiny segments to force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Frontier() != 0 {
+		t.Fatalf("fresh frontier = %d", s.Frontier())
+	}
+	recs := makeTestRecords(t, 40, "sink")
+	for _, rec := range recs {
+		if err := s.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Duplicate (re-shipped) records drop silently.
+	if err := s.WriteRecord(recs[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := wal.Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("got %d segments, want rotation to have split them", len(segs))
+	}
+
+	// Reopen: frontier resumes one past the last intact record.
+	s2, err := OpenWALSink(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Frontier() != 40 {
+		t.Fatalf("resumed frontier = %d, want 40", s2.Frontier())
+	}
+	s2.Close()
+
+	// Tear the tail: frontier retreats to the committed prefix.
+	tail := segs[len(segs)-1].Path
+	st, _ := os.Stat(tail)
+	if err := os.Truncate(tail, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := OpenWALSink(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Frontier() >= 40 {
+		t.Fatalf("torn-tail frontier = %d, want < 40", s3.Frontier())
+	}
+	// Re-shipping from the frontier completes the log again.
+	for i := s3.Frontier(); i < 40; i++ {
+		if err := s3.WriteRecord(recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, mem, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, next, ins := mem.Dump()
+	if next != 40 || len(ins) != 40 {
+		t.Fatalf("recovered next=%d live=%d, want 40/40", next, len(ins))
+	}
+}
+
+func TestWALSinkSnapshotBootstrap(t *testing.T) {
+	// Build a primary log with a snapshot, ship it through the sink, and
+	// check the follower recovers the identical store.
+	prim := t.TempDir()
+	l, st, _, err := wal.Open(prim, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := st.Put(inst(i, "boot")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 25; i < 30; i++ {
+		if _, err := st.Put(inst(i, "boot")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := wal.StoreDigest(st)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	next, err := ShipWALOnce(prim, "boot-x", 0, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 30 {
+		t.Fatalf("shipped next = %d, want 30", next)
+	}
+
+	foll := t.TempDir()
+	sink, err := OpenWALSink(foll, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawSnap := false
+	for _, m := range decodeStream(t, buf.Bytes()) {
+		switch m.Type {
+		case MsgSnapBegin:
+			sawSnap = true
+			if err := sink.BeginSnapshot(m.Next, m.Size); err != nil {
+				t.Fatal(err)
+			}
+		case MsgSnapChunk:
+			if err := sink.WriteSnapshotChunk(m.Chunk); err != nil {
+				t.Fatal(err)
+			}
+		case MsgSnapEnd:
+			if err := sink.EndSnapshot(); err != nil {
+				t.Fatal(err)
+			}
+		case MsgWALRec:
+			if err := sink.WriteRecord(m.Rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !sawSnap {
+		t.Fatal("stream from 0 after a snapshot should bootstrap via the snapshot")
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, mem, _, err := wal.Open(foll, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wal.StoreDigest(mem); got != want {
+		t.Fatalf("follower digest %s != primary %s", got, want)
+	}
+}
+
+// collectWriter is a goroutine-safe sink for a live stream under test.
+type collectWriter struct {
+	mu sync.Mutex
+	b  []byte
+}
+
+func (w *collectWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+func (w *collectWriter) bytes() []byte {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]byte(nil), w.b...)
+}
+
+func TestServeJournalMergeOrder(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "j0.log"), filepath.Join(dir, "j1.log")}
+	appendJ := func(shard, seq int, body string) {
+		j, err := wal.OpenJournal(paths[shard])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec []byte
+		rec = appendUvarintTest(rec, seq)
+		rec = append(rec, body...)
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+	}
+	// Shard 0 owns seqs 0 and 2; shard 1 owns seq 1. Sealed starts at
+	// [-1,-1]: nothing may be emitted past a silent shard.
+	appendJ(0, 0, "a")
+	appendJ(0, 2, "c")
+
+	var sealedMu sync.Mutex
+	sealed := []int{-1, -1}
+	reg := NewRegistry(2, time.Minute)
+	src := NewSource(SourceConfig{
+		BootID: "boot-m", Shards: 2,
+		JournalPath: func(i int) string { return paths[i] },
+		WALDir:      func(i int) string { return dir },
+		Sealed: func() []int {
+			sealedMu.Lock()
+			defer sealedMu.Unlock()
+			return append([]int(nil), sealed...)
+		},
+		WALFrontier: func(int) int { return 0 },
+		Registry:    reg,
+		Poll:        2 * time.Millisecond,
+	})
+	w := &collectWriter{}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- src.ServeJournal(w, nil, "t", -1, stop) }()
+
+	countJ := func() int {
+		n := 0
+		for _, m := range decodeStream(t, w.bytes()) {
+			if m.Type == MsgJournalRec {
+				n++
+			}
+		}
+		return n
+	}
+	waitJ := func(want int) {
+		deadline := time.Now().Add(5 * time.Second)
+		for countJ() < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %d journal recs (have %d)", want, countJ())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Nothing is sealed: seq 0 must be held (shard 1 might still get a
+	// lower seq... no — but the merge can't know 0 is shard-global-min
+	// until shard 1 seals past it or shows a record).
+	time.Sleep(30 * time.Millisecond)
+	if n := countJ(); n != 0 {
+		t.Fatalf("emitted %d records before any seal", n)
+	}
+	// Seal shard 1 at 0: seq 0 may go; seq 2 still blocked (shard 1 could
+	// own seq 1 or 2).
+	sealedMu.Lock()
+	sealed[1] = 0
+	sealedMu.Unlock()
+	waitJ(1)
+	// Shard 1's record for seq 1 arrives: with both queues non-empty the
+	// merge emits 1, then stalls on 2 until shard 1 seals past it.
+	appendJ(1, 1, "b")
+	waitJ(2)
+	time.Sleep(20 * time.Millisecond)
+	if n := countJ(); n != 2 {
+		t.Fatalf("emitted %d records, want exactly 2 before sealing", n)
+	}
+	sealedMu.Lock()
+	sealed[1] = 2
+	sealedMu.Unlock()
+	waitJ(3)
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	var got []int
+	var shards []int
+	for _, m := range decodeStream(t, w.bytes()) {
+		if m.Type != MsgJournalRec {
+			continue
+		}
+		seq, err := JournalSeq(m.Rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, seq)
+		shards = append(shards, m.Shard)
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Fatalf("merged seqs = %v, want [0 1 2]", got)
+	}
+	if shards[0] != 0 || shards[1] != 1 || shards[2] != 0 {
+		t.Fatalf("owner shards = %v, want [0 1 0]", shards)
+	}
+}
+
+// TestServeJournalWatermarkBeforeFill pins the sample order inside the
+// merge loop: the sealed watermark must be snapshotted BEFORE the file
+// tails are read. The Sealed callback here plays the role of a shard
+// applier finishing a commit between the two steps — it appends a
+// record to shard 0's journal and advances the watermark past it in
+// the same breath. If the source sampled sealed after the fill, that
+// pass would see shard 0's queue empty, sealed past the new record,
+// emit the later sequences, and the resume skip would then silently
+// drop the record on the next pass (a permanently lagging follower).
+func TestServeJournalWatermarkBeforeFill(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "j0.log"), filepath.Join(dir, "j1.log")}
+	appendJ := func(shard, seq int, body string) {
+		j, err := wal.OpenJournal(paths[shard])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec []byte
+		rec = appendUvarintTest(rec, seq)
+		rec = append(rec, body...)
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+	}
+	// Shard 0 owns seqs 0 and 3 (3 lands mid-stream); shard 1 owns the
+	// rest and is fully durable from the start.
+	appendJ(0, 0, "a")
+	appendJ(1, 1, "b")
+	appendJ(1, 2, "c")
+	appendJ(1, 4, "e")
+
+	var mu sync.Mutex
+	calls := 0
+	appended := false
+	reg := NewRegistry(2, time.Minute)
+	src := NewSource(SourceConfig{
+		BootID: "boot-w", Shards: 2,
+		JournalPath: func(i int) string { return paths[i] },
+		WALDir:      func(i int) string { return dir },
+		Sealed: func() []int {
+			mu.Lock()
+			defer mu.Unlock()
+			calls++
+			if calls == 1 {
+				// Seq 3 is still in flight toward shard 0's journal.
+				return []int{0, 4}
+			}
+			if !appended {
+				// The commit completes: seq 3 becomes durable and shard
+				// 0's watermark moves past it, both "during" this call.
+				appended = true
+				appendJ(0, 3, "d")
+			}
+			return []int{4, 4}
+		},
+		WALFrontier: func(int) int { return 0 },
+		Registry:    reg,
+		Poll:        2 * time.Millisecond,
+	})
+	w := &collectWriter{}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- src.ServeJournal(w, nil, "t", -1, stop) }()
+
+	seqs := func() []int {
+		var got []int
+		for _, m := range decodeStream(t, w.bytes()) {
+			if m.Type != MsgJournalRec {
+				continue
+			}
+			seq, err := JournalSeq(m.Rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, seq)
+		}
+		return got
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(seqs()) < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream stalled at %v, want [0 1 2 3 4] — a watermark sampled after the fill pass drops late-filled records", seqs())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	got := seqs()
+	want := []int{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("merged seqs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged seqs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestServeWALLiveTailAndDigest(t *testing.T) {
+	// Records written while the stream is live — across segment rotations
+	// and snapshots (compaction racing the stream) — must all arrive, and
+	// the sink-materialized log must recover to the primary's digest.
+	prim := t.TempDir()
+	l, st, _, err := wal.Open(prim, wal.Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(1, time.Minute)
+	l.SetCompactPin(func() int { return reg.PinWAL(0) })
+
+	src := NewSource(SourceConfig{
+		BootID: "boot-w", Shards: 1,
+		JournalPath: func(int) string { return filepath.Join(prim, "none.log") },
+		WALDir:      func(int) string { return prim },
+		Sealed:      func() []int { return []int{-1} },
+		WALFrontier: func(int) int { return l.Frontier() },
+		Registry:    reg,
+		Poll:        2 * time.Millisecond,
+	})
+	w := &collectWriter{}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- src.ServeWAL(w, nil, "t", 0, 0, stop) }()
+
+	const total = 120
+	for i := 0; i < total; i++ {
+		if _, err := st.Put(inst(i, "live")); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 9 {
+			if err := l.Commit(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%40 == 39 {
+			if err := l.Snapshot(); err != nil { // compaction runs here
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	want := wal.StoreDigest(st)
+
+	// Wait until the stream's frontier covers everything. A completed
+	// snapshot bootstrap covers records below its bound: when the writer
+	// outruns the stream's attach, compaction may legitimately leave
+	// nothing but the final snapshot to ship.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		frontier, pendingSnap := -1, -1
+		for _, m := range decodeStream(t, w.bytes()) {
+			switch m.Type {
+			case MsgSnapBegin:
+				pendingSnap = m.Next
+			case MsgSnapEnd:
+				if pendingSnap-1 > frontier {
+					frontier = pendingSnap - 1
+				}
+			case MsgWALRec:
+				id, err := wal.RecordID(m.Rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				frontier = id
+			}
+		}
+		if frontier == total-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream stalled at record %d, want %d", frontier, total-1)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	foll := t.TempDir()
+	sink, err := OpenWALSink(foll, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range decodeStream(t, w.bytes()) {
+		switch m.Type {
+		case MsgSnapBegin:
+			err = sink.BeginSnapshot(m.Next, m.Size)
+		case MsgSnapChunk:
+			err = sink.WriteSnapshotChunk(m.Chunk)
+		case MsgSnapEnd:
+			err = sink.EndSnapshot()
+		case MsgWALRec:
+			err = sink.WriteRecord(m.Rec)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, mem, _, err := wal.Open(foll, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wal.StoreDigest(mem); got != want {
+		t.Fatalf("follower digest %s != primary %s", got, want)
+	}
+}
+
+func TestCompactionPinHoldsSegments(t *testing.T) {
+	// With a follower pinned at 0, snapshots must not delete any segment;
+	// releasing the pin lets the next snapshot compact.
+	dir := t.TempDir()
+	l, st, _, err := wal.Open(dir, wal.Options{SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin := 0
+	var pinMu sync.Mutex
+	l.SetCompactPin(func() int {
+		pinMu.Lock()
+		defer pinMu.Unlock()
+		return pin
+	})
+	// Three commit+snapshot rounds at distinct next-IDs: the two retained
+	// snapshots then give compaction a real horizon.
+	for round := 0; round < 3; round++ {
+		for i := round * 20; i < (round+1)*20; i++ {
+			if _, err := st.Put(inst(i, "pin")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := l.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := wal.Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 || segs[0].First != 0 {
+		t.Fatalf("pinned segments = %+v, want the full chain from 0", segs)
+	}
+	pinMu.Lock()
+	pin = -1 // follower gone: nothing pinned
+	pinMu.Unlock()
+	for i := 60; i < 80; i++ {
+		if _, err := st.Put(inst(i, "pin")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err = wal.Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) == 0 || segs[0].First == 0 {
+		t.Fatalf("post-release segments = %+v, want leading segments compacted", segs)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientStreamsAndReconnects(t *testing.T) {
+	// First request fails; second serves three messages then EOF. The
+	// client must reconnect, deliver all messages, and honor Stop.
+	var mu sync.Mutex
+	calls := 0
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n == 1 {
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+			return
+		}
+		var b []byte
+		b = AppendHello(b, "boot-c", 1, StreamWAL, 0)
+		b = AppendWALRec(b, []byte{0, 'x'})
+		b = AppendEOF(b, "bye")
+		w.Write(b) //nolint:errcheck // test server
+	}))
+	defer srv.Close()
+
+	got := make(chan Msg, 16)
+	c := &Client{
+		URL:     func(from int) string { return fmt.Sprintf("%s/stream?from=%d", srv.URL, from) },
+		From:    func() int { return 0 },
+		Handle:  func(m Msg) error { got <- m; return nil },
+		Backoff: 5 * time.Millisecond,
+	}
+	c.Start()
+	defer func() { c.Stop(); c.Wait() }()
+
+	deadline := time.After(5 * time.Second)
+	var seen []Msg
+	for len(seen) < 2 {
+		select {
+		case m := <-got:
+			seen = append(seen, m)
+		case <-deadline:
+			t.Fatalf("timed out; saw %d messages", len(seen))
+		}
+	}
+	if seen[0].Type != MsgHello || seen[0].BootID != "boot-c" {
+		t.Fatalf("first message %+v, want hello", seen[0])
+	}
+	if seen[1].Type != MsgWALRec {
+		t.Fatalf("second message %+v, want wal rec", seen[1])
+	}
+	mu.Lock()
+	if calls < 2 {
+		t.Fatalf("calls = %d, want a reconnect after the 503", calls)
+	}
+	mu.Unlock()
+}
+
+func TestClientFatalStops(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var b []byte
+		b = AppendHello(b, "other-boot", 1, StreamWAL, 0)
+		w.Write(b) //nolint:errcheck // test server
+	}))
+	defer srv.Close()
+
+	errs := make(chan error, 16)
+	c := &Client{
+		URL:  func(from int) string { return srv.URL },
+		From: func() int { return 0 },
+		Handle: func(m Msg) error {
+			if m.Type == MsgHello && m.BootID != "boot-c" {
+				return Fatal(fmt.Errorf("boot ID mismatch"))
+			}
+			return nil
+		},
+		Backoff: time.Millisecond,
+		OnState: func(err error) {
+			if err != nil {
+				errs <- err
+			}
+		},
+	}
+	c.Start()
+	waited := make(chan struct{})
+	go func() { c.Wait(); close(waited) }()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client did not stop on fatal error")
+	}
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Fatal("expected the fatal error reported")
+		}
+	default:
+		t.Fatal("no error reported via OnState")
+	}
+}
+
+// makeTestRecords encodes n segment records the way the WAL does — via
+// a scratch log — so sink tests feed real on-disk record bytes.
+func makeTestRecords(t *testing.T, n int, name string) [][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	l, st, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := st.Put(inst(i, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := wal.Segments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]byte
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg.Path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for len(data) > 0 {
+			payload, rest, ok := wal.ReadFrame(data)
+			if !ok {
+				t.Fatalf("bad test record in %s", seg.Path)
+			}
+			out = append(out, append([]byte(nil), payload...))
+			data = rest
+		}
+	}
+	if len(out) != n {
+		t.Fatalf("encoded %d records, want %d", len(out), n)
+	}
+	return out
+}
+
+func appendUvarintTest(b []byte, v int) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}

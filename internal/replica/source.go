@@ -1,0 +1,590 @@
+package replica
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"grca/internal/obs"
+	"grca/internal/wal"
+)
+
+var (
+	mJournalShipped = obs.GetCounter("replica.source.journal.records")
+	mWALShipped     = obs.GetCounter("replica.source.wal.records")
+	mSnapshots      = obs.GetCounter("replica.source.snapshots.shipped")
+	mFollowers      = obs.GetGauge("replica.source.followers")
+)
+
+// SourceConfig wires a Source into the serving pipeline it streams from.
+type SourceConfig struct {
+	// BootID identifies this primary incarnation; a follower refuses to
+	// resume across a boot-ID change (recovery may renumber sequences).
+	BootID string
+	// Shards is the pipeline's shard count.
+	Shards int
+	// JournalPath returns shard i's ingest journal path.
+	JournalPath func(i int) string
+	// WALDir returns shard i's WAL state directory (holding wal/ and
+	// snap/).
+	WALDir func(i int) string
+	// Sealed returns, per shard, the highest sequence number that shard's
+	// journal can no longer gain records at or below — the merge's
+	// emission watermark.
+	Sealed func() []int
+	// WALFrontier returns shard i's next WAL record ID on the primary
+	// (heartbeat lag signal).
+	WALFrontier func(i int) int
+	// Registry tracks followers and feeds the compaction pin.
+	Registry *Registry
+	// Poll is the file-tail poll cadence (default 50ms).
+	Poll time.Duration
+	// Heartbeat is the idle heartbeat cadence (default 1s).
+	Heartbeat time.Duration
+}
+
+func (c *SourceConfig) defaults() {
+	if c.Poll <= 0 {
+		c.Poll = 50 * time.Millisecond
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = time.Second
+	}
+}
+
+// Source serves replication streams off the primary's on-disk state. It
+// holds no locks of the serving pipeline: it tails the journal and
+// segment files the appliers write, and consults the sealed-sequence
+// watermark to emit the merged journal in a total order no later append
+// can contradict.
+type Source struct {
+	cfg SourceConfig
+}
+
+// NewSource returns a source over cfg.
+func NewSource(cfg SourceConfig) *Source {
+	cfg.defaults()
+	return &Source{cfg: cfg}
+}
+
+// BootID returns the primary incarnation this source streams for.
+func (s *Source) BootID() string { return s.cfg.BootID }
+
+// Shards returns the shard count.
+func (s *Source) Shards() int { return s.cfg.Shards }
+
+// JournalSizes returns each shard journal's current byte size (0 for a
+// journal not yet created).
+func (s *Source) JournalSizes() []int64 {
+	out := make([]int64, s.cfg.Shards)
+	for i := range out {
+		if st, err := os.Stat(s.cfg.JournalPath(i)); err == nil {
+			out[i] = st.Size()
+		}
+	}
+	return out
+}
+
+// WALFrontiers returns each shard's next WAL record ID.
+func (s *Source) WALFrontiers() []int {
+	out := make([]int, s.cfg.Shards)
+	for i := range out {
+		out[i] = s.cfg.WALFrontier(i)
+	}
+	return out
+}
+
+// heartbeat encodes the current lag heartbeat.
+func (s *Source) heartbeat(b []byte) []byte {
+	sealed := s.cfg.Sealed()
+	minSealed := -1
+	for i, v := range sealed {
+		if i == 0 || v < minSealed {
+			minSealed = v
+		}
+	}
+	return AppendHeartbeat(b, minSealed, s.JournalSizes(), s.WALFrontiers())
+}
+
+// fileTail incrementally reads one append-only framed file, carrying a
+// torn tail (a frame still being written) across fills.
+type fileTail struct {
+	path  string
+	f     *os.File
+	off   int64 // next read offset
+	carry []byte
+}
+
+// fill reads everything currently readable and pushes each complete
+// frame's payload to push. It returns whether any frame was delivered.
+func (t *fileTail) fill(push func(payload []byte) error) (bool, error) {
+	if t.f == nil {
+		f, err := os.Open(t.path)
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		t.f = f
+	}
+	progress := false
+	buf := make([]byte, 1<<18)
+	for {
+		n, err := t.f.ReadAt(buf, t.off)
+		if n > 0 {
+			t.off += int64(n)
+			t.carry = append(t.carry, buf[:n]...)
+			for {
+				payload, rest, ok := wal.ReadFrame(t.carry)
+				if !ok {
+					break
+				}
+				if err := push(payload); err != nil {
+					return progress, err
+				}
+				progress = true
+				t.carry = rest
+			}
+			// Keep the torn remainder without pinning the old backing array.
+			if len(t.carry) > 0 {
+				t.carry = append([]byte(nil), t.carry...)
+			} else {
+				t.carry = nil
+			}
+		}
+		if err == io.EOF {
+			return progress, nil
+		}
+		if err != nil {
+			return progress, err
+		}
+	}
+}
+
+func (t *fileTail) close() {
+	if t.f != nil {
+		t.f.Close() //nolint:errcheck // read-only
+		t.f = nil
+	}
+}
+
+// streamConn is one live stream connection's write side: frames are
+// batched into buf and flushed through w (an http.Flusher-backed writer
+// in the server, a plain buffer in tests).
+type streamConn struct {
+	w     io.Writer
+	flush func()
+	buf   []byte
+}
+
+func (c *streamConn) push() error {
+	if len(c.buf) == 0 {
+		return nil
+	}
+	_, err := c.w.Write(c.buf)
+	c.buf = c.buf[:0]
+	if err == nil && c.flush != nil {
+		c.flush()
+	}
+	return err
+}
+
+// jrec is one journal record queued for merge.
+type jrec struct {
+	seq     int
+	payload []byte
+}
+
+// ServeJournal streams the merged ingest journal to one follower: every
+// shard journal's records, merged into global sequence order, each
+// tagged with its owner shard, starting after sequence `from`. The
+// stream tails the files live and ends only on stop (server shutdown)
+// or a write error (follower gone). flush may be nil.
+func (s *Source) ServeJournal(w io.Writer, flush func(), followerID string, from int, stop <-chan struct{}) error {
+	s.cfg.Registry.Attach(followerID)
+	defer s.cfg.Registry.Detach(followerID)
+	mFollowers.Set(int64(len(s.cfg.Registry.Status())))
+
+	conn := &streamConn{w: w, flush: flush}
+	conn.buf = AppendHello(conn.buf, s.cfg.BootID, s.cfg.Shards, StreamJournal, from)
+	if err := conn.push(); err != nil {
+		return err
+	}
+
+	tails := make([]*fileTail, s.cfg.Shards)
+	queues := make([][]jrec, s.cfg.Shards)
+	for i := range tails {
+		tails[i] = &fileTail{path: s.cfg.JournalPath(i)}
+		defer tails[i].close()
+	}
+	shipped := from
+	lastBeat := obs.Now()
+	for {
+		// The watermark snapshot MUST precede the file reads: a record
+		// durably appended but not yet read in this pass is still pending
+		// (done follows the fsync), so its shard's watermark observed here
+		// sits below it and the merge gate cannot emit past it. Sampling
+		// sealed after the fill would let a concurrent commit advance the
+		// watermark over records this pass never saw — the merge would
+		// run ahead and the resume skip below would then drop them.
+		sealed := s.cfg.Sealed()
+		for i := range tails {
+			if _, err := tails[i].fill(func(payload []byte) error {
+				seq, err := JournalSeq(payload)
+				if err != nil {
+					return fmt.Errorf("replica: shard %d journal: %v", i, err)
+				}
+				queues[i] = append(queues[i], jrec{seq, append([]byte(nil), payload...)})
+				return nil
+			}); err != nil {
+				conn.buf = AppendEOF(conn.buf, err.Error())
+				conn.push() //nolint:errcheck // stream is ending either way
+				return err
+			}
+		}
+		// Emit every record whose order no future append can contradict: a
+		// queued record with sequence s goes out once each other shard
+		// either shows a queued record (necessarily later — per-shard
+		// sequences ascend) or is sealed at or past s.
+		emitted := false
+		for {
+			pick := -1
+			for i := range queues {
+				if len(queues[i]) > 0 && (pick < 0 || queues[i][0].seq < queues[pick][0].seq) {
+					pick = i
+				}
+			}
+			if pick < 0 {
+				break
+			}
+			seq := queues[pick][0].seq
+			ready := true
+			for j := range queues {
+				if j != pick && len(queues[j]) == 0 && sealed[j] < seq {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				break
+			}
+			rec := queues[pick][0]
+			queues[pick] = queues[pick][1:]
+			if seq <= shipped {
+				continue // resume skip: the follower journaled this already
+			}
+			conn.buf = AppendJournalRec(conn.buf, pick, rec.payload)
+			shipped = seq
+			emitted = true
+			mJournalShipped.Inc()
+			if len(conn.buf) >= 1<<16 {
+				if err := conn.push(); err != nil {
+					return err
+				}
+			}
+		}
+		if emitted {
+			s.cfg.Registry.NoteJournal(followerID, shipped)
+			if err := conn.push(); err != nil {
+				return err
+			}
+			lastBeat = obs.Now()
+			continue // drain hot without sleeping
+		}
+		if obs.Since(lastBeat) >= s.cfg.Heartbeat {
+			conn.buf = s.heartbeat(conn.buf)
+			if err := conn.push(); err != nil {
+				return err
+			}
+			lastBeat = obs.Now()
+		}
+		select {
+		case <-stop:
+			conn.buf = AppendEOF(conn.buf, "primary shutting down")
+			conn.push() //nolint:errcheck // stream is ending either way
+			return nil
+		case <-time.After(s.cfg.Poll):
+		}
+	}
+}
+
+// ServeWAL streams one shard's event WAL to a follower from record ID
+// `from`: the latest snapshot first when retention has compacted past
+// the resume point, then every segment record in ID order, tailing the
+// active segment and handing off at rotation. The registry pin is set
+// before the segment listing, so compaction cannot delete a segment
+// between the decision to ship it and the read.
+func (s *Source) ServeWAL(w io.Writer, flush func(), followerID string, shard, from int, stop <-chan struct{}) error {
+	if shard < 0 || shard >= s.cfg.Shards {
+		return fmt.Errorf("replica: no shard %d", shard)
+	}
+	s.cfg.Registry.Attach(followerID)
+	defer s.cfg.Registry.Detach(followerID)
+	s.cfg.Registry.NoteWAL(followerID, shard, from)
+
+	conn := &streamConn{w: w, flush: flush}
+	conn.buf = AppendHello(conn.buf, s.cfg.BootID, s.cfg.Shards, StreamWAL, from)
+	if err := conn.push(); err != nil {
+		return err
+	}
+	sess := &walSession{src: s, conn: conn, followerID: followerID, shard: shard, next: from}
+	return sess.run(stop)
+}
+
+// walSession is one WAL stream's server-side state.
+type walSession struct {
+	src        *Source
+	conn       *streamConn
+	followerID string
+	shard      int
+	dir        string
+	next       int // next record ID to ship
+	tail       *fileTail
+	tailFirst  int  // first ID of the segment tail reads
+	booted     bool // past the snapshot decision
+	stalls     int  // polls with a torn carry while a newer segment exists
+}
+
+// bootstrap decides how the stream starts: from the follower's frontier
+// when segments still cover it, from the latest snapshot otherwise.
+func (w *walSession) bootstrap() error {
+	w.dir = w.src.cfg.WALDir(w.shard)
+	path, snapNext, ok, err := wal.LatestSnapshot(w.dir)
+	if err != nil {
+		return err
+	}
+	if ok && w.next < snapNext {
+		// Records below the snapshot bound may be compacted away; ship the
+		// snapshot file verbatim and resume records at its bound. (Read it
+		// whole up front — the keep-two rule may delete it mid-stream.)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			// Deleted between listing and read: a newer snapshot exists now.
+			path2, next2, ok2, err2 := wal.LatestSnapshot(w.dir)
+			if err2 != nil || !ok2 {
+				return fmt.Errorf("replica: shard %d snapshot vanished: %v", w.shard, err)
+			}
+			if data, err = os.ReadFile(path2); err != nil {
+				return err
+			}
+			snapNext = next2
+		}
+		w.conn.buf = AppendSnapBegin(w.conn.buf, snapNext, int64(len(data)))
+		const chunk = 256 << 10
+		for off := 0; off < len(data); off += chunk {
+			end := min(off+chunk, len(data))
+			w.conn.buf = AppendSnapChunk(w.conn.buf, data[off:end])
+			if err := w.conn.push(); err != nil {
+				return err
+			}
+		}
+		w.conn.buf = AppendSnapEnd(w.conn.buf)
+		if err := w.conn.push(); err != nil {
+			return err
+		}
+		w.next = snapNext
+		mSnapshots.Inc()
+	}
+	w.src.cfg.Registry.NoteWAL(w.followerID, w.shard, w.next)
+	w.booted = true
+	return nil
+}
+
+// openSegmentFor positions the tail on the newest segment whose first ID
+// is at or below next (records before it are already shipped or never
+// existed on this sparse shard). Returns false when no segment exists
+// yet.
+func (w *walSession) openSegmentFor() (bool, error) {
+	segs, err := wal.Segments(w.dir)
+	if err != nil {
+		return false, err
+	}
+	if len(segs) == 0 {
+		return false, nil
+	}
+	idx := 0
+	for i := range segs {
+		if segs[i].First <= w.next {
+			idx = i
+		}
+	}
+	w.tail = &fileTail{path: segs[idx].Path}
+	w.tailFirst = segs[idx].First
+	return true, nil
+}
+
+// advanceSegment hands off to the next segment after the current one,
+// if one exists. Rotation closes a segment before creating its
+// successor, so once a newer segment is listed the current one is
+// complete.
+func (w *walSession) advanceSegment() (bool, error) {
+	segs, err := wal.Segments(w.dir)
+	if err != nil {
+		return false, err
+	}
+	for i := range segs {
+		if segs[i].First > w.tailFirst {
+			w.tail.close()
+			w.tail = &fileTail{path: segs[i].Path}
+			w.tailFirst = segs[i].First
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (w *walSession) run(stop <-chan struct{}) error {
+	defer func() {
+		if w.tail != nil {
+			w.tail.close()
+		}
+	}()
+	lastBeat := obs.Now()
+	for {
+		progress, err := w.step()
+		if err != nil {
+			w.conn.buf = AppendEOF(w.conn.buf, err.Error())
+			w.conn.push() //nolint:errcheck // stream is ending either way
+			return err
+		}
+		if progress {
+			w.src.cfg.Registry.NoteWAL(w.followerID, w.shard, w.next)
+			if err := w.conn.push(); err != nil {
+				return err
+			}
+			lastBeat = obs.Now()
+			continue
+		}
+		if obs.Since(lastBeat) >= w.src.cfg.Heartbeat {
+			w.conn.buf = w.src.heartbeat(w.conn.buf)
+			if err := w.conn.push(); err != nil {
+				return err
+			}
+			lastBeat = obs.Now()
+		}
+		select {
+		case <-stop:
+			w.conn.buf = AppendEOF(w.conn.buf, "primary shutting down")
+			w.conn.push() //nolint:errcheck // stream is ending either way
+			return nil
+		case <-time.After(w.src.cfg.Poll):
+		}
+	}
+}
+
+// step makes one unit of progress: bootstrap, open a segment, drain the
+// current segment's new records, or hand off at rotation.
+func (w *walSession) step() (bool, error) {
+	if !w.booted {
+		if err := w.bootstrap(); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	if w.tail == nil {
+		ok, err := w.openSegmentFor()
+		return ok, err
+	}
+	progress, err := w.tail.fill(func(payload []byte) error {
+		id, err := wal.RecordID(payload)
+		if err != nil {
+			return fmt.Errorf("replica: shard %d segment %s: %v", w.shard, w.tail.path, err)
+		}
+		if id < w.next {
+			return nil // below the resume point: already shipped
+		}
+		w.conn.buf = AppendWALRec(w.conn.buf, payload)
+		w.next = id + 1
+		mWALShipped.Inc()
+		if len(w.conn.buf) >= 1<<16 {
+			return w.conn.push()
+		}
+		return nil
+	})
+	if err != nil {
+		return progress, err
+	}
+	if progress {
+		w.stalls = 0
+		return true, nil
+	}
+	// No new bytes. If rotation moved on, hand off — but only once the
+	// carry is empty: a torn frame must complete in place first, and a
+	// torn frame in a rotated-away (immutable) segment is corruption.
+	if len(w.tail.carry) == 0 {
+		ok, err := w.advanceSegment()
+		return ok, err
+	}
+	advanced, err := w.advanceable()
+	if err != nil {
+		return false, err
+	}
+	if advanced {
+		w.stalls++
+		if w.stalls > 200 {
+			return false, fmt.Errorf("replica: shard %d segment %s torn mid-stream", w.shard, w.tail.path)
+		}
+	}
+	return false, nil
+}
+
+// advanceable reports whether a segment newer than the current one
+// exists (the hand-off condition, checked while a torn carry blocks it).
+func (w *walSession) advanceable() (bool, error) {
+	segs, err := wal.Segments(w.dir)
+	if err != nil {
+		return false, err
+	}
+	for i := range segs {
+		if segs[i].First > w.tailFirst {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ShipWALOnce streams shard state under dir — the latest snapshot if
+// `from` predates the oldest retained record, then every flushed segment
+// record with ID >= the resume point — to w, and returns without
+// tailing. It is the chaos harness's deterministic, single-shot form of
+// ServeWAL, sharing walSession's bootstrap and scan.
+func ShipWALOnce(dir string, bootID string, from int, w io.Writer) (next int, err error) {
+	conn := &streamConn{w: w}
+	conn.buf = AppendHello(conn.buf, bootID, 1, StreamWAL, from)
+	if err := conn.push(); err != nil {
+		return from, err
+	}
+	reg := NewRegistry(1, time.Hour)
+	reg.Attach("once")
+	src := NewSource(SourceConfig{
+		BootID: bootID, Shards: 1,
+		JournalPath: func(int) string { return "" },
+		WALDir:      func(int) string { return dir },
+		Sealed:      func() []int { return []int{-1} },
+		WALFrontier: func(int) int { return 0 },
+		Registry:    reg,
+	})
+	sess := &walSession{src: src, conn: conn, followerID: "once", shard: 0, next: from}
+	for {
+		progress, err := sess.step()
+		if err != nil {
+			return sess.next, err
+		}
+		if !progress {
+			break
+		}
+		if err := conn.push(); err != nil {
+			return sess.next, err
+		}
+	}
+	if sess.tail != nil {
+		sess.tail.close()
+	}
+	conn.buf = AppendEOF(conn.buf, "complete")
+	if err := conn.push(); err != nil {
+		return sess.next, err
+	}
+	return sess.next, nil
+}

@@ -74,6 +74,7 @@ type shardTask struct {
 	events []event.Instance // IDs pre-assigned by the dispatcher
 	pos    []int            // events[j] commits into bt.stored[pos[j]]
 	jrec   []byte           // journal record, on the one owner shard
+	jseq   int              // jrec's sequence, for the sealer's watermark
 	wait   *sync.WaitGroup  // barrier
 }
 
@@ -218,6 +219,8 @@ func (s *Server) dispatchEvents(t *task) (*batch, taskResult) {
 	}
 	owner := routes[0] // non-empty: guarded at the top
 	subs[owner].jrec = encodeRecord(seq, t.kind, "", t.raw)
+	subs[owner].jseq = seq
+	s.sealer.assign(owner, seq)
 	for i, st := range subs {
 		if st != nil {
 			s.shards[i].queue <- *st // admission guaranteed space
@@ -258,7 +261,10 @@ func (s *Server) dispatchFeed(t *task) (*batch, taskResult) {
 	// apply so an invalid batch is journaled too — replay hits the same
 	// deterministic parse error and converges on the same state.
 	rec := encodeRecord(seq, recFeed, t.source, t.lines)
-	if err := s.shards[0].jour.Append(rec); err != nil {
+	s.sealer.assign(0, seq)
+	err := s.shards[0].jour.Append(rec)
+	s.sealer.done(0, seq)
+	if err != nil {
 		bt.res = errResult(http.StatusInternalServerError, "journal: %v", err)
 		s.finishQ <- bt
 		return bt, taskResult{}
@@ -294,7 +300,10 @@ func (s *Server) dispatchFinalize() (*batch, taskResult) {
 	seq := s.seq
 	s.seq++
 	bt := &batch{seq: seq, kind: recFinalize, ready: closedChan, reply: make(chan taskResult, 1)}
-	if err := s.shards[0].jour.Append(encodeRecord(seq, recFinalize, "", nil)); err != nil {
+	s.sealer.assign(0, seq)
+	err := s.shards[0].jour.Append(encodeRecord(seq, recFinalize, "", nil))
+	s.sealer.done(0, seq)
+	if err != nil {
 		bt.res = errResult(http.StatusInternalServerError, "journal: %v", err)
 		s.finishQ <- bt
 		return bt, taskResult{}
@@ -414,6 +423,13 @@ func (s *Server) applyShardGroup(sh *shard, group []shardTask) {
 			}
 		}
 	}
+	// Every owned record's fate is settled — durably journaled, or failed
+	// and never appearing — so the sealer's watermark can move past them.
+	for i := range group {
+		if group[i].jrec != nil {
+			s.sealer.done(sh.idx, group[i].jseq)
+		}
+	}
 	for i := range group {
 		t := &group[i]
 		for j := range t.events {
@@ -475,13 +491,22 @@ func (s *Server) finisher() {
 // application's streaming processor, in batch order, collecting the
 // response the same way the pre-sharding single applier did.
 func (s *Server) observeBatch(bt *batch) taskResult {
+	resp := s.observeStored(bt.stored)
+	return taskResult{status: http.StatusOK, resp: resp}
+}
+
+// observeStored runs committed instances through every application's
+// streaming processor in order. Shared by the finisher (primary) and
+// the journal-stream apply path (follower), so both sides feed the
+// processors the identical event sequence.
+func (s *Server) observeStored(stored []*event.Instance) IngestResponse {
 	var resp IngestResponse
 	s.mu.RLock()
 	procs := s.procs
 	s.mu.RUnlock()
 	specs := appSpecs()
-	for _, stored := range bt.stored {
-		if stored == nil {
+	for _, in := range stored {
+		if in == nil {
 			continue
 		}
 		resp.Stored++
@@ -490,7 +515,7 @@ func (s *Server) observeBatch(bt *batch) taskResult {
 			if !ok {
 				continue
 			}
-			ds, late := p.ObserveStored(stored)
+			ds, late := p.ObserveStored(in)
 			if late {
 				resp.Late++
 			}
@@ -502,5 +527,5 @@ func (s *Server) observeBatch(bt *batch) taskResult {
 		}
 	}
 	mEvents.Add(int64(resp.Stored))
-	return taskResult{status: http.StatusOK, resp: resp}
+	return resp
 }

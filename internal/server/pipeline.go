@@ -62,6 +62,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"grca/internal/apps/backbone"
@@ -79,6 +80,7 @@ import (
 	"grca/internal/obs"
 	"grca/internal/platform"
 	"grca/internal/realtime"
+	"grca/internal/replica"
 	"grca/internal/rollup"
 	"grca/internal/store"
 	"grca/internal/wal"
@@ -214,6 +216,18 @@ type Config struct {
 	// main API address — the single-port deployment; a dedicated metrics
 	// listener (obs.ServeDebug) is the alternative.
 	Debug bool
+	// ReplicaOf, when set, opens this node as a live read replica of the
+	// primary at that base URL (e.g. http://host:9090): it bootstraps
+	// from the primary's replication streams, serves the read API
+	// continuously, and redirects writes there. POST
+	// /v1/replication/promote turns it into a primary.
+	ReplicaOf string
+	// ReplicaGrace is how long WAL compaction holds segments for a
+	// recently disconnected follower (default 5m).
+	ReplicaGrace time.Duration
+	// ReplicaPoll is the replication streams' file-tail poll cadence
+	// (default 50ms).
+	ReplicaPoll time.Duration
 }
 
 func (c *Config) defaults() {
@@ -248,6 +262,7 @@ type taskResult struct {
 // WAL, its slice of the ingest journal, and the bounded queue its
 // applier goroutine drains.
 type shard struct {
+	idx   int
 	st    *store.Memory
 	log   *wal.Log
 	jour  *wal.Journal
@@ -296,6 +311,18 @@ type Server struct {
 	// streaming diagnoses out to SSE clients. Both exist from Open on.
 	roll *rollup.Rollup
 	hub  *sseHub
+
+	// Replication (DESIGN.md §16). Primary side: bootID names this
+	// incarnation, sealer feeds the stream merge's watermark, replReg
+	// tracks followers (and pins compaction), replSrc serves the streams.
+	// Follower side: follower is non-nil on a read replica, and promoted,
+	// once set, is the post-failover primary every request delegates to.
+	bootID   string
+	sealer   *sealer
+	replReg  *replica.Registry
+	replSrc  *replica.Source
+	follower *followerState
+	promoted atomic.Pointer[promotedNode]
 
 	closing  chan struct{}
 	httpSrv  *http.Server
@@ -377,6 +404,9 @@ func legacyLayout(dataDir string) bool {
 // Open recovers (or initializes) the service under cfg.DataDir.
 func Open(cfg Config) (*Server, error) {
 	cfg.defaults()
+	if cfg.ReplicaOf != "" {
+		return openFollower(cfg)
+	}
 	n := cfg.Shards
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, err
@@ -494,7 +524,7 @@ func Open(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		shards[i] = &shard{
-			st: mems[i], log: ws[i].log, jour: jour,
+			idx: i, st: mems[i], log: ws[i].log, jour: jour,
 			queue: make(chan shardTask, cfg.MaxInflight),
 			done:  make(chan struct{}),
 		}
@@ -538,6 +568,7 @@ func Open(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	s.initReplicationSource(rep)
 	opened = true
 	for i := range shards {
 		go s.applier(shards[i])

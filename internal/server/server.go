@@ -62,12 +62,28 @@ func (s *Server) Handler() http.Handler {
 	// The stream outlives any request timeout; it is bounded by the
 	// client and server lifetimes instead of s.timed.
 	mux.HandleFunc("/v1/stream", s.handleStream)
+	mux.HandleFunc("/v1/replication/status", s.timed(mStatsSecs, s.handleReplStatus))
+	mux.HandleFunc("/v1/replication/meta", s.timed(mStatsSecs, s.handleReplMeta))
+	// Replication streams live until the follower disconnects, and a
+	// promotion replays the whole journal history — none fit under the
+	// request timeout.
+	mux.HandleFunc("/v1/replication/journal", s.handleReplJournal)
+	mux.HandleFunc("/v1/replication/wal", s.handleReplWAL)
+	mux.HandleFunc("/v1/replication/promote", s.handleReplPromote)
 	mux.HandleFunc("/browser/", s.handleDashboard)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	if s.cfg.Debug {
 		mux.Handle("/debug/", obs.DebugMux())
 	}
-	return mux
+	// After a promotion the replica's old pipeline stays up for in-flight
+	// requests, but every new request belongs to the promoted primary.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if node := s.promoted.Load(); node != nil {
+			node.h.ServeHTTP(w, r)
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // timed wraps a handler with the inflight gauge, a request-scoped
@@ -97,6 +113,10 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.isFollower() {
+		s.redirectToPrimary(w, r)
 		return
 	}
 	var t task
@@ -203,6 +223,10 @@ func (s *Server) finishIngest(w http.ResponseWriter, r *http.Request, t task) {
 func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.isFollower() {
+		s.redirectToPrimary(w, r)
 		return
 	}
 	res := s.dispatch(r.Context(), task{kind: recFinalize})
@@ -383,6 +407,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
+	}
+	if s.isFollower() {
+		return s.shutdownFollower(ctx, err)
 	}
 	// Closing the queues under dispatchMu excludes in-flight dispatchers:
 	// anyone who passed the closing check has finished enqueueing before

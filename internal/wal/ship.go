@@ -1,0 +1,165 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Shipping support for the replication subsystem (internal/replica): the
+// stream's wire format is the on-disk format, so the source tails
+// segment and journal files directly and followers write what they
+// receive. This file exports just enough of the framing and the dir
+// layout to do that, plus the compaction pin that keeps a segment on
+// disk while a registered follower still needs it.
+
+// FrameHeader is the byte length of a record frame's header.
+const FrameHeader = frameHeader
+
+// MaxRecord bounds a single framed record; a streamed length beyond it
+// is treated as corruption, exactly as recovery treats it on disk.
+const MaxRecord = maxRecord
+
+// AppendFrame appends payload to b under the standard record framing.
+func AppendFrame(b, payload []byte) []byte { return appendFrame(b, payload) }
+
+// ReadFrame decodes one frame at the front of b; ok is false when b
+// holds no complete, intact frame (the torn-tail signal).
+func ReadFrame(b []byte) (payload, rest []byte, ok bool) { return readFrame(b) }
+
+// RecordID returns the store ID carried by an encoded segment record.
+func RecordID(p []byte) (int, error) { return recordID(p) }
+
+// FrameReader incrementally decodes record frames from a byte stream —
+// the streaming counterpart of ReadFrame for consumers that cannot hold
+// the whole log in memory (the replication client). Next returns io.EOF
+// at a clean frame boundary and ErrTornFrame when the stream ends or
+// corrupts mid-frame.
+type FrameReader struct {
+	br      *bufio.Reader
+	hdr     [frameHeader]byte
+	payload []byte
+}
+
+// ErrTornFrame reports a stream that ended or corrupted inside a frame:
+// a short header, an absurd length, a truncated payload, or a CRC
+// mismatch.
+var ErrTornFrame = fmt.Errorf("wal: torn or corrupt frame")
+
+// NewFrameReader wraps r for incremental frame decoding.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{br: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next frame's payload. The returned slice is reused
+// by the following call — copy it to retain. io.EOF means the stream
+// ended cleanly between frames.
+func (fr *FrameReader) Next() ([]byte, error) {
+	if _, err := io.ReadFull(fr.br, fr.hdr[:1]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, ErrTornFrame
+	}
+	if _, err := io.ReadFull(fr.br, fr.hdr[1:]); err != nil {
+		return nil, ErrTornFrame
+	}
+	n := binary.LittleEndian.Uint32(fr.hdr[0:4])
+	if n > maxRecord {
+		return nil, ErrTornFrame
+	}
+	if cap(fr.payload) < int(n) {
+		fr.payload = make([]byte, n)
+	}
+	fr.payload = fr.payload[:n]
+	if _, err := io.ReadFull(fr.br, fr.payload); err != nil {
+		return nil, ErrTornFrame
+	}
+	if crc32.Checksum(fr.payload, castagnoli) != binary.LittleEndian.Uint32(fr.hdr[4:8]) {
+		return nil, ErrTornFrame
+	}
+	return fr.payload, nil
+}
+
+// Segment describes one on-disk WAL segment file.
+type Segment struct {
+	Path  string
+	First int // ID of the segment's first record (its name)
+}
+
+// Segments lists dir's WAL segments ascending by first ID.
+func Segments(dir string) ([]Segment, error) {
+	paths, firsts, err := listNumbered(walDir(dir), "seg-", ".log")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Segment, len(paths))
+	for i := range paths {
+		out[i] = Segment{Path: paths[i], First: firsts[i]}
+	}
+	return out, nil
+}
+
+// LatestSnapshot returns the newest snapshot file under dir and the
+// next-ID bound it covers; ok is false when no snapshot exists.
+func LatestSnapshot(dir string) (path string, next int, ok bool, err error) {
+	snaps, nums, err := listNumbered(snapDir(dir), "snap-", ".snap")
+	if err != nil {
+		return "", 0, false, err
+	}
+	if len(snaps) == 0 {
+		return "", 0, false, nil
+	}
+	return snaps[len(snaps)-1], nums[len(nums)-1], true, nil
+}
+
+// SnapPath returns where a snapshot covering IDs < next lives under dir
+// — the follower-side sink writes shipped snapshots to the same name the
+// primary used.
+func SnapPath(dir string, next int) string { return snapFile(dir, next) }
+
+// SegPath returns the segment path for a segment whose first record
+// carries the given ID.
+func SegPath(dir string, first int) string { return segPath(dir, first) }
+
+// WALDirOf and SnapDirOf expose the fixed sub-directory layout.
+func WALDirOf(dir string) string  { return walDir(dir) }
+func SnapDirOf(dir string) string { return snapDir(dir) }
+
+// Frontier returns the next record ID the log expects — one past the
+// highest ID ever appended (buffered records included).
+func (l *Log) Frontier() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// SetCompactPin installs fn, consulted by segment compaction: a segment
+// holding any record with ID >= fn() survives even when a snapshot made
+// it redundant. The replication registry uses it to keep segments a
+// registered (or recently disconnected, within the grace window)
+// follower has not shipped yet. fn must be safe to call from the
+// snapshotting goroutine; a fn returning a negative value pins nothing.
+func (l *Log) SetCompactPin(fn func() int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pinFn = fn
+}
+
+// compactPin returns the current pin: the lowest record ID that must
+// stay on disk (MaxInt when unpinned).
+func (l *Log) compactPin() int {
+	l.mu.Lock()
+	fn := l.pinFn
+	l.mu.Unlock()
+	const maxInt = int(^uint(0) >> 1)
+	if fn == nil {
+		return maxInt
+	}
+	if p := fn(); p >= 0 {
+		return p
+	}
+	return maxInt
+}

@@ -109,7 +109,11 @@ func (l *Log) Snapshot() error {
 // active segment). Compacting to the older snapshot — not the one just
 // written — is what makes the two-snapshot retention real: if the newest
 // snapshot turns out unreadable at recovery, the previous snapshot plus
-// the still-present segments rebuild the same state.
+// the still-present segments rebuild the same state. A compaction pin
+// (SetCompactPin) additionally keeps every segment holding records a
+// replication follower has not shipped yet: segment i's records all lie
+// below segment i+1's first ID, so it is removable only when that bound
+// clears both the snapshot horizon and the pin.
 func (l *Log) compact(active string) error {
 	snaps, nums, err := listNumbered(snapDir(l.dir), "snap-", ".snap")
 	if err != nil {
@@ -123,6 +127,9 @@ func (l *Log) compact(active string) error {
 	horizon := 0 // only one snapshot: it has no fallback, delete nothing
 	if n := len(nums); n >= 2 {
 		horizon = nums[n-2]
+	}
+	if pin := l.compactPin(); pin < horizon {
+		horizon = pin
 	}
 	segs, firsts, err := listNumbered(walDir(l.dir), "seg-", ".log")
 	if err != nil {

@@ -175,6 +175,11 @@ type Log struct {
 	syncing   bool
 	syncCond  *sync.Cond
 
+	// pinFn, when set, bounds compaction from below: segments holding
+	// records at or above its return value stay on disk (replication
+	// followers that have not shipped them yet). Guarded by mu.
+	pinFn func() int
+
 	snapMu sync.Mutex // serializes Snapshot end to end
 
 	stop chan struct{}

@@ -11,11 +11,18 @@
 #      SSE diagnosis event, failing on non-200 or empty aggregates
 #   5. diagnose, SIGTERM, restart (timed), and assert the event count,
 #      the diagnosis bytes, and the breakdown bytes survived the restart
-#   6. repeat the binary stream against a fresh -shards=1 data dir and
+#   6. replication: restart the primary, attach a live read replica
+#      (-replica-of), stream 100k more events while the replica applies
+#      them and grca-load reads from it (-read-from), record catch-up
+#      time and replica read latencies, byte-compare /v1/breakdown
+#      between the two nodes, then SIGKILL the primary, `grca promote`
+#      the replica, byte-compare its breakdown against the pre-kill
+#      snapshot, and assert the promoted node accepts writes
+#   7. repeat the binary stream against a fresh -shards=1 data dir and
 #      gate the sharded/single speedup (>= SERVE_SMOKE_MIN_SHARD_RATIO,
 #      only when the box has >= 4 cores — shards can't beat one commit
 #      lane without cores to run on)
-#   7. gate events/s per encoding against the committed BENCH_SERVE.json
+#   8. gate events/s per encoding against the committed BENCH_SERVE.json
 #      (>10% regression fails; override with SERVE_SMOKE_MAX_REGRESSION)
 #
 # Usage: scripts/serve_smoke.sh [out.json]
@@ -25,8 +32,11 @@ set -euo pipefail
 OUT="${1:-BENCH_SERVE.json}"
 ADDR="127.0.0.1:18080"
 BASE="http://$ADDR"
+ADDR2="127.0.0.1:18081"
+BASE2="http://$ADDR2"
 WORK="$(mktemp -d)"
 SERVE_PID=""
+REPLICA_PID=""
 MIN_EPS="${SERVE_SMOKE_MIN_EPS:-20000}"
 # The rollup answers /v1/breakdown from pre-computed counters, so p99
 # must stay roughly flat as the store grows ~10x. The gate is lenient
@@ -55,10 +65,12 @@ if [ -f "$OUT" ]; then
 fi
 
 cleanup() {
-  if [ -n "$SERVE_PID" ] && kill -0 "$SERVE_PID" 2>/dev/null; then
-    kill -TERM "$SERVE_PID" 2>/dev/null || true
-    wait "$SERVE_PID" 2>/dev/null || true
-  fi
+  for pid in "$SERVE_PID" "$REPLICA_PID"; do
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+      kill -TERM "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
   rm -rf "$WORK"
 }
 trap cleanup EXIT
@@ -185,7 +197,111 @@ if ! cmp -s "$WORK/breakdown-before.json" "$WORK/breakdown-after.json"; then
   exit 1
 fi
 echo "== restart preserved $EVENTS_AFTER events, identical diagnoses and breakdown"
-stop_serve
+
+# ---- replication: live read replica, catch-up, SIGKILL failover ----
+# The primary from the restart phase is still serving; attach a replica
+# to it. (A replica is bound to one primary incarnation: it ships that
+# boot's journals/WALs and must resync if the primary restarts.)
+echo "== attaching a live read replica (-replica-of)"
+"$WORK/bin/grca" serve -addr "$ADDR2" -data-dir "$WORK/data-replica" -bundle "$WORK/corpus" \
+  -fsync batch -shards "$SHARDS" -replica-of "$BASE" -replica-poll 5ms &
+REPLICA_PID=$!
+for _ in $(seq 1 400); do
+  curl -fsS "$BASE2/healthz" > /dev/null 2>&1 && break
+  sleep 0.05
+done
+
+echo "== streaming 100k more events at the primary while the replica applies and serves reads"
+"$WORK/bin/grca-load" -addr "$BASE" -events 100000 -batch 1000 -c 4 \
+  -wire binary -read-from "$BASE2" -probes 100 -o "$WORK/load-replica.json"
+
+# Catch-up: the stream is quiesced; poll until the replica's event count
+# matches the primary's, then require the breakdown bytes to match too.
+# (Breakdown equality alone is too weak a signal — bgpflap's rows can be
+# identical while the replica still trails on undiagnosed raw events.)
+CATCH_T0=$(date +%s.%N)
+EVENTS_PRIMARY=$(curl -fsS "$BASE/v1/events" | python3 -c 'import json,sys; print(json.load(sys.stdin)["events"])')
+curl -fsS "$BASE/v1/breakdown?app=bgpflap" > "$WORK/breakdown-primary.json"
+EVENTS_REPLICA=-1
+for _ in $(seq 1 1200); do
+  EVENTS_REPLICA=$(curl -fsS "$BASE2/v1/events" 2>/dev/null | python3 -c 'import json,sys; print(json.load(sys.stdin)["events"])' 2>/dev/null || echo -1)
+  [ "$EVENTS_REPLICA" = "$EVENTS_PRIMARY" ] && break
+  sleep 0.05
+done
+CATCH_T1=$(date +%s.%N)
+if [ "$EVENTS_REPLICA" != "$EVENTS_PRIMARY" ]; then
+  echo "serve_smoke: FAIL — replica stores $EVENTS_REPLICA events, primary $EVENTS_PRIMARY" >&2
+  curl -fsS "$BASE2/v1/replication/status" >&2 || true
+  echo >&2
+  curl -fsS "$BASE/v1/replication/status" >&2 || true
+  echo >&2
+  exit 1
+fi
+CATCHUP_SECONDS=$(python3 -c "print(round($CATCH_T1 - $CATCH_T0, 3))")
+curl -fsS "$BASE2/v1/breakdown?app=bgpflap" > "$WORK/breakdown-replica.json"
+if ! cmp -s "$WORK/breakdown-primary.json" "$WORK/breakdown-replica.json"; then
+  echo "serve_smoke: FAIL — caught-up replica's breakdown differs from the primary" >&2
+  diff "$WORK/breakdown-primary.json" "$WORK/breakdown-replica.json" >&2 || true
+  exit 1
+fi
+# Lag gauges (post-catch-up they sit at/near zero; presence is the check)
+# and replication status from both sides.
+curl -fsS "$BASE2/v1/stats" | python3 -c '
+import json, sys
+m = json.load(sys.stdin)["metrics"]["gauges"]
+lag = {k: v for k, v in m.items() if k.startswith("replica.follower.")}
+assert lag, "no replica.follower.* gauges in replica stats"
+print("   replica gauges:", json.dumps(lag))
+' || { echo "serve_smoke: FAIL — replica lag gauges missing from /v1/stats" >&2; exit 1; }
+curl -fsS "$BASE2/v1/replication/status" | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["role"] == "replica" and r.get("shard_lag"), r
+' || { echo "serve_smoke: FAIL — bad replica /v1/replication/status" >&2; exit 1; }
+echo "   replica caught up in ${CATCHUP_SECONDS}s ($EVENTS_REPLICA events, breakdown byte-identical)"
+
+echo "== SIGKILL primary, promote the replica"
+curl -fsS "$BASE/v1/breakdown?app=bgpflap" > "$WORK/breakdown-prekill.json"
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+SERVE_PID=""
+PROMOTE_T0=$(date +%s.%N)
+"$WORK/bin/grca" promote -addr "$BASE2"
+PROMOTE_T1=$(date +%s.%N)
+PROMOTE_SECONDS=$(python3 -c "print(round($PROMOTE_T1 - $PROMOTE_T0, 3))")
+curl -fsS "$BASE2/v1/breakdown?app=bgpflap" > "$WORK/breakdown-promoted.json"
+if ! cmp -s "$WORK/breakdown-prekill.json" "$WORK/breakdown-promoted.json"; then
+  echo "serve_smoke: FAIL — promoted replica's breakdown differs from the pre-kill primary" >&2
+  diff "$WORK/breakdown-prekill.json" "$WORK/breakdown-promoted.json" >&2 || true
+  exit 1
+fi
+# The promoted node is a writable primary.
+curl -fsS -X POST "$BASE2/v1/ingest" --data-binary @"$WORK/sse-batch.json" > /dev/null \
+  || { echo "serve_smoke: FAIL — promoted node rejected a write" >&2; exit 1; }
+curl -fsS "$BASE2/v1/replication/status" | python3 -c '
+import json, sys
+r = json.load(sys.stdin)
+assert r["role"] == "primary", r
+' || { echo "serve_smoke: FAIL — promoted node still reports replica role" >&2; exit 1; }
+echo "   promoted in ${PROMOTE_SECONDS}s; breakdown byte-identical to pre-kill primary; writes accepted"
+kill -TERM "$REPLICA_PID" && wait "$REPLICA_PID" 2>/dev/null || true
+REPLICA_PID=""
+python3 - "$WORK/replication.json" "$CATCHUP_SECONDS" "$PROMOTE_SECONDS" "$WORK/load-replica.json" <<'PYEOF'
+import json, sys
+out, catchup, promote, load_path = sys.argv[1:5]
+load = json.load(open(load_path))
+rep = {
+    "replica_catchup_seconds": float(catchup),
+    "promote_seconds": float(promote),
+    "replica_reads": load.get("replica_reads"),
+    "replica_read_p50_ms": load.get("replica_read_p50_ms"),
+    "replica_read_p99_ms": load.get("replica_read_p99_ms"),
+    "replica_probe_p50_ms": load.get("replica_probe_p50_ms"),
+    "replica_probe_p99_ms": load.get("replica_probe_p99_ms"),
+    "events_per_sec_with_replica": load.get("events_per_sec"),
+}
+json.dump(rep, open(out, "w"), indent=2)
+PYEOF
 
 # Shard-scaling comparison: replay the same binary stream against a fresh
 # single-shard data dir (shard count is pinned per data dir, so a second
@@ -294,6 +410,21 @@ if baseline_path:
 else:
     print("   (no committed baseline found; regression gate skipped)")
 sys.exit(1 if failed else 0)
+PYEOF
+
+# Fold the replication-phase metrics into the committed report.
+python3 - "$OUT" "$WORK/replication.json" <<'PYEOF'
+import json, sys
+out, rep_path = sys.argv[1:3]
+rep = json.load(open(out))
+repl = json.load(open(rep_path))
+rep["replication"] = repl
+json.dump(rep, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+print(f"   replication: caught up in {repl['replica_catchup_seconds']:.2f}s, "
+      f"promoted in {repl['promote_seconds']:.2f}s, "
+      f"{repl['replica_reads']} replica reads "
+      f"(p99 {repl['replica_read_p99_ms']:.2f}ms)")
 PYEOF
 
 echo "== serve_smoke OK ($OUT written)"
